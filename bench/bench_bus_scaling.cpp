@@ -1,0 +1,60 @@
+// E7: bus-count scaling with the number of partitions (Section 3's formulas).
+//
+// For p = 2..6 components, partitions a synthetic specification round-robin
+// and reports, per implementation model, the number of buses the refiner
+// actually generates against the paper's upper bounds:
+//   Model1: 1   Model2: p+1   Model3: p + p*p   Model4: 2p+1
+// Generated counts may fall below the bound (a bus only exists when some
+// access needs it); exceeding the bound fails the run.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/synthetic.h"
+
+using namespace specsyn;
+using namespace specsyn::bench;
+
+int main() {
+  std::printf("E7: generated bus count vs paper bound, p = 2..6 partitions\n");
+
+  SyntheticOptions opts;
+  opts.seed = 7;
+  opts.leaf_behaviors = 12;
+  opts.variables = 18;
+  opts.conc_percent = 0;
+  Specification spec = make_synthetic_spec(opts);
+  AccessGraph graph = build_access_graph(spec);
+
+  std::vector<std::string> leaves;
+  spec.top->for_each([&](const Behavior& b) {
+    if (b.is_leaf()) leaves.push_back(b.name);
+  });
+
+  int fail = 0;
+  Table t;
+  t.header = {"p", "model", "buses", "bound", "memories", "arbiters",
+              "interfaces"};
+  for (size_t p = 2; p <= 6; ++p) {
+    Partition part(spec, Allocation::asics(p));
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      part.assign_behavior(leaves[i], i % p);
+    }
+    part.auto_assign_vars(graph);
+    for (ImplModel m : all_models()) {
+      RefineConfig cfg;
+      cfg.model = m;
+      RefineResult r = refine(part, graph, cfg);
+      const size_t bound = BusPlan::max_buses(m, p);
+      if (r.stats.buses > bound) ++fail;
+      t.rows.push_back({std::to_string(p), to_string(m),
+                        std::to_string(r.stats.buses), std::to_string(bound),
+                        std::to_string(r.stats.memories),
+                        std::to_string(r.stats.arbiters),
+                        std::to_string(r.stats.interfaces)});
+    }
+  }
+  t.print("generated buses vs Section 3 bounds");
+  std::printf("\n%s\n", fail == 0 ? "all counts within the paper's bounds"
+                                  : "BOUND VIOLATIONS DETECTED");
+  return fail == 0 ? 0 : 1;
+}

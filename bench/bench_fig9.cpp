@@ -1,0 +1,116 @@
+// Reproduces Figure 9: "Bus transfer rates in three designs and four models"
+// (MBits/second) for the medical bladder-volume system.
+//
+// Method (Section 5): partition the medical system three ways (local=global,
+// local>global, local<global), refine each under Models 1-4, and report the
+// required transfer rate of every bus: the sum of the channel transfer rates
+// of the channels the model maps onto that bus, where a channel's rate is
+// bits-moved / communicating-behavior lifetime (profiled by simulating the
+// original specification at a 100 MHz cycle clock).
+//
+// Absolute Mbit/s values differ from the paper (different spec arithmetic,
+// cycle costs and clock); the *shape* must hold and is checked at the end:
+//   - Model1's single bus carries all traffic in every design (hot spot);
+//   - Model2 relieves local traffic but its shared global bus stays hot when
+//     the design is global-heavy (Design3);
+//   - Model3 spreads global traffic over dedicated buses (lowest peak);
+//   - Model4's request/inter/local legs carry the cross traffic, equal rates
+//     on the forwarding legs (the paper's b2=b3=b4 column).
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+
+using namespace specsyn;
+using namespace specsyn::bench;
+
+namespace {
+
+// Paper's Figure 9 (MBits/s) for qualitative side-by-side display.
+const char* kPaperRows[3][4] = {
+    {"3636", "853, 2030, 753", "853, 480, 179, 640, 731, 753",
+     "1333, 910, 1393"},
+    {"3636", "853, 1580, 1203", "853, 179, 480, 281, 640, 1202",
+     "1352, 800, 1484"},
+    {"3636", "42, 3576, 18", "42, 480, 990, 640, 1466, 18", "522, 2456, 658"},
+};
+
+}  // namespace
+
+int main() {
+  Specification spec = make_medical_system();
+  AccessGraph graph = build_access_graph(spec);
+  ProfileResult prof = profile_spec(spec);
+  const double clock_hz = 100e6;
+
+  std::printf("Figure 9 reproduction: bus transfer rates (MBits/s)\n");
+  std::printf("medical system: %zu behaviors, %zu variables, %zu channels\n",
+              spec.all_behaviors().size(), spec.all_vars().size(),
+              graph.data_channel_pairs());
+
+  // measured[design][model] -> report
+  std::map<int, std::map<int, BusRateReport>> measured;
+
+  Table t;
+  t.header = {"Design", "Model", "buses: rate (MBits/s)", "peak", "paper"};
+  for (int design = 1; design <= 3; ++design) {
+    auto d = make_medical_design(spec, graph, design);
+    for (size_t mi = 0; mi < all_models().size(); ++mi) {
+      BusPlan plan = BusPlan::build(d.partition, graph, all_models()[mi]);
+      BusRateReport r = bus_rates(prof, d.partition, plan, clock_hz);
+      measured[design][static_cast<int>(mi)] = r;
+      std::string buses;
+      for (const auto& [bus, mbps] : r.bus_mbps) {
+        if (!buses.empty()) buses += ", ";
+        buses += bus + "=" + fmt(mbps);
+      }
+      t.rows.push_back({design == 1 && mi == 0 ? design_label(design)
+                        : mi == 0              ? design_label(design)
+                                               : "",
+                        to_string(all_models()[mi]), buses, fmt(r.max_rate()),
+                        kPaperRows[design - 1][mi]});
+    }
+  }
+  t.print("Figure 9 — measured vs paper (per-bus rates)");
+
+  // ---- shape checks ---------------------------------------------------------
+  std::printf("\nShape checks (paper's qualitative findings):\n");
+  int pass = 0, fail = 0;
+  auto check = [&](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+    (ok ? pass : fail) += 1;
+  };
+
+  // Model1's single bus carries the whole traffic, identically per design.
+  double m1_rate = measured[1][0].max_rate();
+  check(measured[2][0].max_rate() == m1_rate &&
+            measured[3][0].max_rate() == m1_rate,
+        "Model1 rate is design-independent (single shared bus carries all)");
+  for (int d = 1; d <= 3; ++d) {
+    check(measured[d][0].max_rate() >= measured[d][1].max_rate(),
+          "Model2 peak <= Model1 peak (local traffic offloaded)");
+    check(measured[d][1].max_rate() >= measured[d][2].max_rate() - 1e-9,
+          "Model3 peak <= Model2 peak (dedicated global buses)");
+    check(measured[d][2].max_rate() <= measured[d][3].max_rate() + 1e-9 ||
+              measured[d][3].max_rate() <= measured[d][1].max_rate() + 1e-9,
+          "Model4 peak between Model3 and Model2/Model1 regimes");
+  }
+  // Design2 (local-heavy) makes Model2's global bus lighter than Design3's.
+  double g2 = measured[2][1].rate_of("gbus");
+  double g3 = measured[3][1].rate_of("gbus");
+  check(g2 < g3, "Model2 global bus lighter in Design2 than in Design3");
+  // Model4 forwarding legs equal (b2=b3=b4).
+  for (int d = 1; d <= 3; ++d) {
+    const BusRateReport& r4 = measured[d][3];
+    double inter = r4.rate_of("interbus");
+    double req = 0;
+    for (const auto& [bus, rate] : r4.bus_mbps) {
+      if (bus.rfind("reqbus_", 0) == 0) req += rate;
+    }
+    check(std::abs(inter - req) < 1e-6,
+          "Model4 request legs sum equals inter-bus rate (b2=b3=b4)");
+  }
+
+  std::printf("\n%d shape checks passed, %d failed\n", pass, fail);
+  return fail == 0 ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+// E8 (ablation): simulation cost of the refined implementation models.
+//
+// The paper motivates refinement partly by simulatability ("the interface
+// design of the refinement makes the partitioned specification simulatable").
+// This bench quantifies what that simulation costs: google-benchmark timings
+// of simulating the original medical spec and each refined model, plus the
+// simulated-cycle counts (protocol overhead stretches simulated time).
+#include <benchmark/benchmark.h>
+
+#include "estimate/profile.h"
+#include "refine/refiner.h"
+#include "sim/simulator.h"
+#include "workloads/medical.h"
+#include "workloads/synthetic.h"
+
+namespace specsyn {
+namespace {
+
+const Specification& medical() {
+  static const Specification spec = make_medical_system();
+  return spec;
+}
+
+const RefineResult& refined_medical(ImplModel m) {
+  static std::map<ImplModel, RefineResult> cache = [] {
+    std::map<ImplModel, RefineResult> c;
+    const Specification& spec = medical();
+    AccessGraph graph = build_access_graph(spec);
+    auto d = make_medical_design(spec, graph, 1);
+    for (ImplModel mm : {ImplModel::Model1, ImplModel::Model2,
+                         ImplModel::Model3, ImplModel::Model4}) {
+      RefineConfig cfg;
+      cfg.model = mm;
+      c.emplace(mm, refine(d.partition, graph, cfg));
+    }
+    return c;
+  }();
+  return cache.at(m);
+}
+
+void BM_SimulateOriginalMedical(benchmark::State& state) {
+  uint64_t cycles = 0, steps = 0;
+  for (auto _ : state) {
+    Simulator sim(medical());
+    SimResult r = sim.run();
+    cycles = r.end_time;
+    steps = r.steps;
+    benchmark::DoNotOptimize(r.final_vars);
+  }
+  state.counters["sim_cycles"] = static_cast<double>(cycles);
+  state.counters["steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_SimulateOriginalMedical);
+
+void BM_SimulateRefinedMedical(benchmark::State& state) {
+  const auto model = static_cast<ImplModel>(state.range(0));
+  const RefineResult& r = refined_medical(model);
+  uint64_t cycles = 0, steps = 0;
+  for (auto _ : state) {
+    Simulator sim(r.refined);
+    SimResult res = sim.run();
+    cycles = res.end_time;
+    steps = res.steps;
+    benchmark::DoNotOptimize(res.final_vars);
+  }
+  state.counters["sim_cycles"] = static_cast<double>(cycles);
+  state.counters["steps"] = static_cast<double>(steps);
+  state.SetLabel(to_string(model));
+}
+BENCHMARK(BM_SimulateRefinedMedical)->DenseRange(0, 3);
+
+void BM_RefineMedical(benchmark::State& state) {
+  const auto model = static_cast<ImplModel>(state.range(0));
+  const Specification& spec = medical();
+  AccessGraph graph = build_access_graph(spec);
+  auto d = make_medical_design(spec, graph, 1);
+  RefineConfig cfg;
+  cfg.model = model;
+  for (auto _ : state) {
+    RefineResult r = refine(d.partition, graph, cfg);
+    benchmark::DoNotOptimize(r.refined);
+  }
+  state.SetLabel(to_string(model));
+}
+BENCHMARK(BM_RefineMedical)->DenseRange(0, 3);
+
+void BM_ProfileSynthetic(benchmark::State& state) {
+  SyntheticOptions opts;
+  opts.seed = 11;
+  opts.leaf_behaviors = static_cast<size_t>(state.range(0));
+  opts.variables = opts.leaf_behaviors + 4;
+  Specification spec = make_synthetic_spec(opts);
+  for (auto _ : state) {
+    ProfileResult p = profile_spec(spec);
+    benchmark::DoNotOptimize(p.accesses);
+  }
+  state.counters["leaves"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ProfileSynthetic)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace specsyn
+
+BENCHMARK_MAIN();

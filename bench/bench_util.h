@@ -1,0 +1,83 @@
+// Shared helpers for the benchmark/reproduction binaries: canonical medical
+// setups and fixed-width ASCII table printing.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "estimate/profile.h"
+#include "estimate/rates.h"
+#include "refine/refiner.h"
+#include "workloads/medical.h"
+
+namespace specsyn::bench {
+
+/// All four implementation models, in paper order.
+inline const std::vector<ImplModel>& all_models() {
+  static const std::vector<ImplModel> models = {
+      ImplModel::Model1, ImplModel::Model2, ImplModel::Model3,
+      ImplModel::Model4};
+  return models;
+}
+
+/// Paper row labels for the three designs.
+inline const char* design_label(int design) {
+  switch (design) {
+    case 1: return "Design1 (local = global)";
+    case 2: return "Design2 (local > global)";
+    case 3: return "Design3 (local < global)";
+  }
+  return "?";
+}
+
+struct Table {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  void print(const std::string& title) const {
+    std::printf("\n== %s ==\n", title.c_str());
+    std::vector<size_t> w(header.size(), 0);
+    for (size_t i = 0; i < header.size(); ++i) w[i] = header[i].size();
+    for (const auto& r : rows) {
+      for (size_t i = 0; i < r.size() && i < w.size(); ++i) {
+        w[i] = std::max(w[i], r[i].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (size_t i = 0; i < cells.size(); ++i) {
+        std::printf("%s%-*s", i ? "  " : "", static_cast<int>(w[i]),
+                    cells[i].c_str());
+      }
+      std::printf("\n");
+    };
+    line(header);
+    size_t total = header.size() - 1;
+    for (size_t i = 0; i < header.size(); ++i) total += w[i];
+    std::printf("%s\n", std::string(total + header.size(), '-').c_str());
+    for (const auto& r : rows) line(r);
+  }
+};
+
+inline std::string fmt(double v, int prec = 0) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+/// Wall-clock helper (the paper's Figure 10 reports refinement CPU time).
+template <typename F>
+double time_ms(F&& f, int reps = 5) {
+  double best = 1e18;
+  for (int i = 0; i < reps; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    f();
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace specsyn::bench

@@ -1,0 +1,96 @@
+// Medical explorer: the paper's Section 5 experiment as an interactive-style
+// report — explores all four implementation models for each of the three
+// partitions of the bladder-volume system and recommends a model per design,
+// the way a designer would use SpecSyn's refinement to compare communication
+// styles.
+//
+// Usage: ./build/examples/medical_explorer [design]   (design in 1..3;
+//        default: all three)
+#include <cstdio>
+#include <cstdlib>
+
+#include "estimate/cost.h"
+#include "estimate/profile.h"
+#include "estimate/rates.h"
+#include "printer/printer.h"
+#include "refine/refiner.h"
+#include "refine/selector.h"
+#include "workloads/medical.h"
+
+using namespace specsyn;
+
+namespace {
+
+struct ModelOutcome {
+  ImplModel model;
+  double peak_mbps;
+  double cost;
+  size_t lines;
+  size_t buses;
+};
+
+void explore(const Specification& spec, const AccessGraph& graph,
+             const ProfileResult& prof, int design) {
+  auto d = make_medical_design(spec, graph, design);
+  std::printf("\nDesign%d: %zu local / %zu global variables\n", design,
+              d.local_vars, d.global_vars);
+
+  std::vector<ModelOutcome> outcomes;
+  for (ImplModel m : {ImplModel::Model1, ImplModel::Model2, ImplModel::Model3,
+                      ImplModel::Model4}) {
+    RefineConfig cfg;
+    cfg.model = m;
+    RefineResult r = refine(d.partition, graph, cfg);
+    BusRateReport rates = bus_rates(prof, d.partition, r.plan, 100e6);
+    CostReport cost = estimate_cost(r, rates);
+    outcomes.push_back({m, rates.max_rate(), cost.total,
+                        count_lines(print(r.refined)), r.stats.buses});
+    std::printf("  %s: peak bus %7.0f Mbit/s, %zu buses, cost %7.1f, "
+                "%zu lines\n",
+                to_string(m), rates.max_rate(), r.stats.buses, cost.total,
+                outcomes.back().lines);
+  }
+
+  // Recommend via the automatic selector: feasible under a max bus-rate
+  // constraint, then cheapest (exactly the paper's closing advice).
+  SelectionConstraints constraints;
+  constraints.max_bus_mbps = 4000;  // designer's bus-technology limit
+  SelectionResult sel = select_model(d.partition, graph, prof, constraints);
+  if (const Candidate* rec = sel.recommended()) {
+    std::printf("  -> recommended under %.0f Mbit/s bus limit: %s "
+                "(peak %.0f, cost %.1f)\n",
+                constraints.max_bus_mbps, to_string(rec->config.model),
+                rec->peak_mbps, rec->cost);
+  } else {
+    std::printf("  -> no model satisfies the %.0f Mbit/s bus limit\n",
+                constraints.max_bus_mbps);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Specification spec = make_medical_system();
+  AccessGraph graph = build_access_graph(spec);
+  std::printf("medical system: %zu behaviors, %zu variables, %zu channels, "
+              "%zu-line specification\n",
+              spec.all_behaviors().size(), spec.all_vars().size(),
+              graph.data_channel_pairs(), count_lines(print(spec)));
+  ProfileResult prof = profile_spec(spec);
+  std::printf("profiled: %llu cycles end-to-end, %zu dynamic channels\n",
+              static_cast<unsigned long long>(prof.sim.end_time),
+              prof.channel_count());
+
+  if (argc > 1) {
+    explore(spec, graph, prof, std::atoi(argv[1]));
+  } else {
+    for (int design = 1; design <= 3; ++design) {
+      explore(spec, graph, prof, design);
+    }
+  }
+  std::printf(
+      "\nconclusion (paper, Section 5): the best communication model is both\n"
+      "application- and partition-dependent — exploring all of them per\n"
+      "design is exactly what automatic model refinement buys.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Design-cost model for comparing implementation models.
+//
+// Section 5's discussion: "when considering design cost, we need to take
+// into account not only the number of buses, the bus transfer rate required
+// for each bus, but also the cost of bus interfaces … and the number of
+// memories and the sizes of the memories". This model scores exactly those
+// quantities with configurable weights.
+#pragma once
+
+#include "estimate/rates.h"
+#include "refine/refiner.h"
+
+namespace specsyn {
+
+struct CostWeights {
+  double per_bus = 10.0;           // wiring + drivers per bus
+  double per_bus_wire = 0.2;       // per signal wire of a bus bundle
+  double per_memory = 20.0;        // module overhead
+  double per_memory_port = 15.0;   // extra port cost (multi-port rams)
+  double per_memory_bit = 0.01;
+  double per_arbiter = 25.0;
+  double per_interface = 40.0;     // Model4 bus interface logic + buffer
+  double per_mbps_peak = 0.05;     // fastest bus dominates bus technology cost
+};
+
+struct CostReport {
+  size_t buses = 0;
+  size_t bus_wires = 0;
+  size_t memories = 0;
+  size_t memory_ports = 0;
+  uint64_t memory_bits = 0;
+  size_t arbiters = 0;
+  size_t interfaces = 0;
+  double peak_bus_mbps = 0.0;
+  double total = 0.0;
+};
+
+/// Scores a refinement result (structure) together with its rate report
+/// (performance pressure).
+[[nodiscard]] CostReport estimate_cost(const RefineResult& refined,
+                                       const BusRateReport& rates,
+                                       const CostWeights& w = {});
+
+}  // namespace specsyn

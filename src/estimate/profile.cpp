@@ -1,0 +1,39 @@
+#include "estimate/profile.h"
+
+namespace specsyn {
+
+void ProfileCollector::on_var_read(const std::string& var,
+                                   const std::string& behavior, uint64_t) {
+  ++accesses_[{behavior, var}].reads;
+}
+
+void ProfileCollector::on_var_write(const std::string& var,
+                                    const std::string& behavior, uint64_t,
+                                    uint64_t) {
+  ++accesses_[{behavior, var}].writes;
+}
+
+void ProfileCollector::on_behavior_start(const std::string& behavior,
+                                         uint64_t time) {
+  BehaviorProfile& p = behaviors_[behavior];
+  if (p.activations == 0) p.first_start = time;
+  ++p.activations;
+}
+
+void ProfileCollector::on_behavior_end(const std::string& behavior,
+                                       uint64_t time) {
+  behaviors_[behavior].last_end = time;
+}
+
+ProfileResult profile_spec(const Specification& spec, SimConfig cfg) {
+  Simulator sim(spec, cfg);
+  ProfileCollector collector;
+  sim.add_observer(&collector);
+  ProfileResult result;
+  result.sim = sim.run();
+  result.behaviors = collector.behaviors();
+  result.accesses = collector.accesses();
+  return result;
+}
+
+}  // namespace specsyn

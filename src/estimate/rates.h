@@ -1,0 +1,48 @@
+// Channel and bus transfer rates — the metric of the paper's Figure 9.
+//
+// channel rate (behavior b, variable v) =
+//     accesses(b,v) * width(v) bits / lifetime(b) seconds
+// bus rate = sum of the rates of all channels mapped onto the bus by the
+// implementation model's BusPlan. A Model4 remote access traverses three
+// buses (request, inter, remote local), so its channel contributes to all
+// three — exactly why Fig. 9 reports equal rates for b2=b3=b4.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "estimate/profile.h"
+#include "partition/partition.h"
+#include "refine/bus_plan.h"
+
+namespace specsyn {
+
+struct ChannelRate {
+  std::string behavior;
+  std::string var;
+  uint64_t accesses = 0;
+  uint64_t bits = 0;
+  double mbits_per_s = 0.0;
+};
+
+struct BusRateReport {
+  ImplModel model = ImplModel::Model1;
+  /// bus name -> required transfer rate in Mbits/s.
+  std::map<std::string, double> bus_mbps;
+  std::vector<ChannelRate> channels;
+
+  [[nodiscard]] double max_rate() const;
+  [[nodiscard]] double total_rate() const;
+  /// Rate of `bus`, 0 if the bus carries no channel.
+  [[nodiscard]] double rate_of(const std::string& bus) const;
+};
+
+/// Maps the profiled channels of the *original* spec onto the buses of
+/// `plan`. `part`/`plan` must refer to the same spec the profile came from;
+/// `clock_hz` converts cycle lifetimes to seconds.
+[[nodiscard]] BusRateReport bus_rates(const ProfileResult& profile,
+                                      const Partition& part,
+                                      const BusPlan& plan, double clock_hz);
+
+}  // namespace specsyn

@@ -1,0 +1,214 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace specsyn {
+
+const char* to_string(Tok t) {
+  switch (t) {
+    case Tok::End: return "<end>";
+    case Tok::Ident: return "identifier";
+    case Tok::Int: return "integer";
+    case Tok::Semi: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Comma: return "','";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::Arrow: return "'->'";
+    case Tok::Assign: return "':='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Amp: return "'&'";
+    case Tok::Pipe: return "'|'";
+    case Tok::Caret: return "'^'";
+    case Tok::Shl: return "'<<'";
+    case Tok::Shr: return "'>>'";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::EqEq: return "'=='";
+    case Tok::Ne: return "'!='";
+    case Tok::AmpAmp: return "'&&'";
+    case Tok::PipePipe: return "'||'";
+    case Tok::Bang: return "'!'";
+    case Tok::Tilde: return "'~'";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(std::string_view src, DiagnosticSink& diags) {
+  std::vector<Token> out;
+  uint32_t line = 1, col = 1;
+  size_t i = 0;
+  const size_t n = src.size();
+
+  auto peek = [&](size_t k = 0) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+  auto advance = [&]() {
+    if (src[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++i;
+  };
+  auto push = [&](Tok kind, SourceLoc loc) {
+    Token t;
+    t.kind = kind;
+    t.loc = loc;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = peek();
+    const SourceLoc loc{line, col};
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && peek() != '\n') advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      Token t;
+      t.kind = Tok::Ident;
+      t.loc = loc;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                       peek() == '_')) {
+        t.text += peek();
+        advance();
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Token t;
+      t.kind = Tok::Int;
+      t.loc = loc;
+      uint64_t v = 0;
+      bool overflow = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(peek()))) {
+        const uint64_t d = static_cast<uint64_t>(peek() - '0');
+        if (v > (UINT64_MAX - d) / 10) overflow = true;
+        v = v * 10 + d;
+        advance();
+      }
+      if (overflow) diags.error("integer literal overflows 64 bits", loc);
+      t.int_value = v;
+      out.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case ';': advance(); push(Tok::Semi, loc); continue;
+      case ',': advance(); push(Tok::Comma, loc); continue;
+      case '(': advance(); push(Tok::LParen, loc); continue;
+      case ')': advance(); push(Tok::RParen, loc); continue;
+      case '{': advance(); push(Tok::LBrace, loc); continue;
+      case '}': advance(); push(Tok::RBrace, loc); continue;
+      case '+': advance(); push(Tok::Plus, loc); continue;
+      case '*': advance(); push(Tok::Star, loc); continue;
+      case '/': advance(); push(Tok::Slash, loc); continue;
+      case '%': advance(); push(Tok::Percent, loc); continue;
+      case '^': advance(); push(Tok::Caret, loc); continue;
+      case '~': advance(); push(Tok::Tilde, loc); continue;
+      case ':':
+        advance();
+        if (peek() == '=') {
+          advance();
+          push(Tok::Assign, loc);
+        } else {
+          push(Tok::Colon, loc);
+        }
+        continue;
+      case '-':
+        advance();
+        if (peek() == '>') {
+          advance();
+          push(Tok::Arrow, loc);
+        } else {
+          push(Tok::Minus, loc);
+        }
+        continue;
+      case '&':
+        advance();
+        if (peek() == '&') {
+          advance();
+          push(Tok::AmpAmp, loc);
+        } else {
+          push(Tok::Amp, loc);
+        }
+        continue;
+      case '|':
+        advance();
+        if (peek() == '|') {
+          advance();
+          push(Tok::PipePipe, loc);
+        } else {
+          push(Tok::Pipe, loc);
+        }
+        continue;
+      case '<':
+        advance();
+        if (peek() == '=') {
+          advance();
+          push(Tok::Le, loc);
+        } else if (peek() == '<') {
+          advance();
+          push(Tok::Shl, loc);
+        } else {
+          push(Tok::Lt, loc);
+        }
+        continue;
+      case '>':
+        advance();
+        if (peek() == '=') {
+          advance();
+          push(Tok::Ge, loc);
+        } else if (peek() == '>') {
+          advance();
+          push(Tok::Shr, loc);
+        } else {
+          push(Tok::Gt, loc);
+        }
+        continue;
+      case '=':
+        advance();
+        if (peek() == '=') {
+          advance();
+          push(Tok::EqEq, loc);
+        } else {
+          diags.error("unexpected '='; use ':=' or '=='", loc);
+        }
+        continue;
+      case '!':
+        advance();
+        if (peek() == '=') {
+          advance();
+          push(Tok::Ne, loc);
+        } else {
+          push(Tok::Bang, loc);
+        }
+        continue;
+      default:
+        diags.error(std::string("unexpected character '") + c + "'", loc);
+        advance();
+        continue;
+    }
+  }
+  Token end;
+  end.kind = Tok::End;
+  end.loc = {line, col};
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace specsyn

@@ -1,0 +1,43 @@
+// Recursive-descent parser for SpecLang text.
+//
+// Grammar (canonical form produced by the printer):
+//
+//   spec        ::= "spec" IDENT ";" decl* proc* behavior
+//   decl        ::= ["observable"] "var" IDENT ":" type [":=" INT] ";"
+//                 | "signal" IDENT ":" type [":=" INT] ";"
+//   type        ::= "bit" | "int" N            (spelled e.g. int8, int32)
+//   proc        ::= "proc" IDENT "(" [param ("," param)*] ")"
+//                   "{" local* stmt* "}"
+//   param       ::= ["out"] IDENT ":" type
+//   local       ::= "var" IDENT ":" type ";"
+//   behavior    ::= "behavior" IDENT ":" ("leaf"|"seq"|"conc") "{"
+//                     decl* (stmt* | behavior* [trans]) "}"
+//   trans       ::= "transitions" "{" arc* "}"
+//   arc         ::= IDENT "->" (IDENT | "complete") ["when" expr] ";"
+//   stmt        ::= IDENT ":=" expr ";" | IDENT "<=" expr ";"
+//                 | "if" expr "{" stmt* "}" ["else" "{" stmt* "}"]
+//                 | "while" expr "{" stmt* "}" | "loop" "{" stmt* "}"
+//                 | "wait" expr ";" | "delay" INT ";"
+//                 | "call" IDENT "(" [expr ("," expr)*] ")" ";"
+//                 | "break" ";" | "nop" ";"
+//
+// Keywords are contextual (lexed as identifiers), so refinement-generated
+// names never collide with the grammar.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "spec/specification.h"
+
+namespace specsyn {
+
+/// Parses a full specification. Returns nullopt (with errors in `diags`)
+/// on any syntax error.
+[[nodiscard]] std::optional<Specification> parse_spec(std::string_view source,
+                                                      DiagnosticSink& diags);
+
+/// Parses a single expression (handy in tests and tools).
+[[nodiscard]] ExprPtr parse_expr(std::string_view source, DiagnosticSink& diags);
+
+}  // namespace specsyn

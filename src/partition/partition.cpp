@@ -1,0 +1,181 @@
+#include "partition/partition.h"
+
+namespace specsyn {
+
+const char* to_string(ComponentKind k) {
+  switch (k) {
+    case ComponentKind::Processor: return "processor";
+    case ComponentKind::Asic: return "asic";
+  }
+  return "?";
+}
+
+size_t Allocation::find(const std::string& name) const {
+  for (size_t i = 0; i < components.size(); ++i) {
+    if (components[i].name == name) return i;
+  }
+  return SIZE_MAX;
+}
+
+Allocation Allocation::proc_plus_asic() {
+  Allocation a;
+  a.components.push_back(
+      {"PROC", ComponentKind::Processor, "Intel8086", 0, 40});
+  a.components.push_back({"ASIC", ComponentKind::Asic, "XC4010", 10'000, 75});
+  return a;
+}
+
+Allocation Allocation::asics(size_t p) {
+  Allocation a;
+  for (size_t i = 0; i < p; ++i) {
+    a.components.push_back({"ASIC" + std::to_string(i + 1),
+                            ComponentKind::Asic, "XC4010", 10'000, 75});
+  }
+  return a;
+}
+
+Partition::Partition(const Specification& spec, Allocation alloc)
+    : spec_(&spec), alloc_(std::move(alloc)) {
+  if (alloc_.components.empty()) {
+    throw SpecError("partition requires at least one allocated component");
+  }
+}
+
+void Partition::assign_behavior(const std::string& name, size_t component) {
+  if (spec_->find_behavior(name) == nullptr) {
+    throw SpecError("assign_behavior: unknown behavior '" + name + "'");
+  }
+  if (component >= alloc_.size()) {
+    throw SpecError("assign_behavior: component index out of range");
+  }
+  behavior_pin_[name] = component;
+}
+
+void Partition::assign_var(const std::string& name, size_t component) {
+  if (spec_->find_var(name) == nullptr) {
+    throw SpecError("assign_var: unknown variable '" + name + "'");
+  }
+  if (component >= alloc_.size()) {
+    throw SpecError("assign_var: component index out of range");
+  }
+  var_pin_[name] = component;
+}
+
+size_t Partition::component_of_behavior(const std::string& name) const {
+  std::string cur = name;
+  while (true) {
+    auto it = behavior_pin_.find(cur);
+    if (it != behavior_pin_.end()) return it->second;
+    const Behavior* parent = spec_->parent_of(cur);
+    if (parent == nullptr) return 0;
+    cur = parent->name;
+  }
+}
+
+size_t Partition::component_of_var(const std::string& name) const {
+  auto it = var_pin_.find(name);
+  if (it != var_pin_.end()) return it->second;
+  const Behavior* owner = nullptr;
+  if (spec_->find_var(name, &owner) == nullptr) {
+    throw SpecError("component_of_var: unknown variable '" + name + "'");
+  }
+  return owner != nullptr ? component_of_behavior(owner->name) : 0;
+}
+
+bool Partition::is_cut_behavior(const std::string& name) const {
+  const Behavior* parent = spec_->parent_of(name);
+  if (parent == nullptr) return false;  // top is never cut
+  return component_of_behavior(name) != component_of_behavior(parent->name);
+}
+
+std::vector<std::string> Partition::cut_behaviors() const {
+  std::vector<std::string> out;
+  if (!spec_->top) return out;
+  // Pre-order: an outer cut subtree is reported before (and hides) cuts that
+  // merely re-inherit inside it.
+  spec_->top->for_each([&](const Behavior& b) {
+    if (is_cut_behavior(b.name)) out.push_back(b.name);
+  });
+  return out;
+}
+
+void Partition::auto_assign_vars(const AccessGraph& graph) {
+  for (const VarDecl* v : spec_->all_vars()) {
+    if (var_pin_.count(v->name) != 0) continue;
+    std::vector<size_t> votes(alloc_.size(), 0);
+    for (const DataChannel& c : graph.data_channels()) {
+      if (c.var == v->name) {
+        votes[component_of_behavior(c.behavior)] += c.sites;
+      }
+    }
+    size_t best = 0;
+    for (size_t i = 1; i < votes.size(); ++i) {
+      if (votes[i] > votes[best]) best = i;
+    }
+    var_pin_[v->name] = best;
+  }
+}
+
+std::vector<VarPlacement> Partition::classify_vars(
+    const AccessGraph& graph) const {
+  std::vector<VarPlacement> out;
+  for (const VarDecl* v : spec_->all_vars()) {
+    VarPlacement p;
+    p.var = v->name;
+    p.component = component_of_var(v->name);
+    for (const std::string& b : graph.accessors_of(v->name)) {
+      p.accessor_components.insert(component_of_behavior(b));
+    }
+    // Local iff every accessor lives on the variable's own component.
+    p.is_global = false;
+    for (size_t c : p.accessor_components) {
+      if (c != p.component) p.is_global = true;
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::pair<size_t, size_t> Partition::local_global_counts(
+    const AccessGraph& graph) const {
+  size_t local = 0, global = 0;
+  for (const VarPlacement& p : classify_vars(graph)) {
+    (p.is_global ? global : local) += 1;
+  }
+  return {local, global};
+}
+
+bool Partition::check(DiagnosticSink& diags) const {
+  const size_t before = diags.error_count();
+  std::vector<size_t> behaviors_per(alloc_.size(), 0);
+  if (spec_->top) {
+    spec_->top->for_each([&](const Behavior& b) {
+      ++behaviors_per[component_of_behavior(b.name)];
+    });
+  }
+  for (size_t i = 0; i < alloc_.size(); ++i) {
+    if (behaviors_per[i] == 0) {
+      diags.warning("component '" + alloc_.components[i].name +
+                    "' hosts no behaviors");
+    }
+  }
+  for (const auto& [name, comp] : behavior_pin_) {
+    if (spec_->find_behavior(name) == nullptr) {
+      diags.error("partition pins unknown behavior '" + name + "'");
+    }
+    if (comp >= alloc_.size()) {
+      diags.error("partition pins '" + name + "' to missing component");
+    }
+  }
+  for (const auto& [name, comp] : var_pin_) {
+    if (spec_->find_var(name) == nullptr) {
+      diags.error("partition pins unknown variable '" + name + "'");
+    }
+    if (comp >= alloc_.size()) {
+      diags.error("partition pins variable '" + name + "' to missing component");
+    }
+  }
+  return diags.error_count() == before;
+}
+
+}  // namespace specsyn

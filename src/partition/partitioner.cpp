@@ -1,0 +1,185 @@
+#include "partition/partitioner.h"
+
+#include <cmath>
+
+namespace specsyn {
+
+const char* to_string(RatioGoal g) {
+  switch (g) {
+    case RatioGoal::Balanced: return "local=global";
+    case RatioGoal::MoreLocal: return "local>global";
+    case RatioGoal::MoreGlobal: return "local<global";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::string> leaf_names(const Specification& spec) {
+  std::vector<std::string> out;
+  if (!spec.top) return out;
+  spec.top->for_each([&](const Behavior& b) {
+    if (b.is_leaf()) out.push_back(b.name);
+  });
+  return out;
+}
+
+Partition build_partition(const Specification& spec, const AccessGraph& graph,
+                          const Allocation& alloc,
+                          const std::vector<std::string>& leaves,
+                          const std::vector<size_t>& assign) {
+  Partition part(spec, alloc);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    part.assign_behavior(leaves[i], assign[i]);
+  }
+  part.auto_assign_vars(graph);
+  return part;
+}
+
+double score_partition(const Partition& part, const AccessGraph& graph,
+                       const PartitionerOptions& opts,
+                       const std::vector<size_t>& assign, size_t n_comps,
+                       size_t* local_out, size_t* global_out) {
+  const auto [local, global] = part.local_global_counts(graph);
+  *local_out = local;
+  *global_out = global;
+
+  std::vector<size_t> load(n_comps, 0);
+  for (size_t c : assign) ++load[c];
+  size_t max_load = 0, min_load = SIZE_MAX;
+  for (size_t l : load) {
+    max_load = std::max(max_load, l);
+    min_load = std::min(min_load, l);
+  }
+  const double imbalance =
+      static_cast<double>(max_load - min_load) * opts.balance_weight;
+
+  const double l = static_cast<double>(local);
+  const double g = static_cast<double>(global);
+  switch (opts.goal) {
+    case RatioGoal::Balanced:
+      return -std::abs(l - g) - imbalance;
+    case RatioGoal::MoreLocal:
+      // Communication must still exist: demand at least one global variable.
+      if (global == 0) return -1e9;
+      return (l - g) - imbalance + (local > global ? 100.0 : 0.0);
+    case RatioGoal::MoreGlobal:
+      if (local == 0) return (g - l) - imbalance;  // acceptable, not ideal
+      return (g - l) - imbalance + (global > local ? 100.0 : 0.0);
+  }
+  return -1e9;
+}
+
+}  // namespace
+
+PartitionerResult make_ratio_partition(const Specification& spec,
+                                       const AccessGraph& graph,
+                                       Allocation alloc,
+                                       const PartitionerOptions& opts) {
+  const std::vector<std::string> leaves = leaf_names(spec);
+  const size_t n = leaves.size();
+  const size_t p = alloc.size();
+  if (p < 2) throw SpecError("ratio partitioner needs at least 2 components");
+  if (n < 2) throw SpecError("ratio partitioner needs at least 2 leaf behaviors");
+
+  auto evaluate = [&](const std::vector<size_t>& assign, double& score,
+                      size_t& local, size_t& global) {
+    Partition part = build_partition(spec, graph, alloc, leaves, assign);
+    score = score_partition(part, graph, opts, assign, p, &local, &global);
+  };
+
+  std::vector<size_t> best_assign;
+  double best_score = -1e18;
+  size_t best_local = 0, best_global = 0;
+
+  if (p == 2 && n <= opts.exhaustive_limit) {
+    // Exhaustive over 2^n two-component assignments (both sides non-empty).
+    const uint64_t limit = uint64_t{1} << n;
+    std::vector<size_t> assign(n, 0);
+    for (uint64_t mask = 1; mask + 1 < limit; ++mask) {
+      for (size_t i = 0; i < n; ++i) assign[i] = (mask >> i) & 1;
+      double score;
+      size_t local, global;
+      evaluate(assign, score, local, global);
+      if (score > best_score) {
+        best_score = score;
+        best_assign = assign;
+        best_local = local;
+        best_global = global;
+      }
+    }
+  } else {
+    // Deterministic greedy: round-robin seed, then single-move hill climbing.
+    std::vector<size_t> assign(n);
+    for (size_t i = 0; i < n; ++i) assign[i] = i % p;
+    double score;
+    size_t local, global;
+    evaluate(assign, score, local, global);
+    best_assign = assign;
+    best_score = score;
+    best_local = local;
+    best_global = global;
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (size_t i = 0; i < n; ++i) {
+        const size_t orig = best_assign[i];
+        for (size_t c = 0; c < p; ++c) {
+          if (c == orig) continue;
+          std::vector<size_t> trial = best_assign;
+          trial[i] = c;
+          double s;
+          size_t l, g;
+          evaluate(trial, s, l, g);
+          if (s > best_score) {
+            best_score = s;
+            best_assign = std::move(trial);
+            best_local = l;
+            best_global = g;
+            improved = true;
+          }
+        }
+      }
+    }
+  }
+
+  Partition best = build_partition(spec, graph, alloc, leaves, best_assign);
+
+  // The behavior split alone cannot make a single-accessor variable global —
+  // it is local wherever its accessor lives. The paper's Design3
+  // (local < global) therefore also *stores* variables away from their
+  // accessors; emulate that with a flip pass: move local variables with the
+  // fewest static accesses to another component until global > local.
+  if (opts.goal == RatioGoal::MoreGlobal && p >= 2) {
+    auto counts = best.local_global_counts(graph);
+    while (counts.second <= counts.first) {
+      // Cheapest still-local variable.
+      std::string pick;
+      size_t pick_sites = SIZE_MAX;
+      size_t pick_comp = 0;
+      for (const VarPlacement& vp : best.classify_vars(graph)) {
+        if (vp.is_global) continue;
+        size_t sites = 0;
+        for (const DataChannel& c : graph.data_channels()) {
+          if (c.var == vp.var) sites += c.sites;
+        }
+        if (sites < pick_sites) {
+          pick_sites = sites;
+          pick = vp.var;
+          pick_comp = vp.component;
+        }
+      }
+      if (pick.empty()) break;  // nothing left to flip
+      best.assign_var(pick, (pick_comp + 1) % p);
+      counts = best.local_global_counts(graph);
+    }
+    best_local = counts.first;
+    best_global = counts.second;
+  }
+
+  PartitionerResult result{std::move(best), best_local, best_global,
+                           best_score};
+  return result;
+}
+
+}  // namespace specsyn

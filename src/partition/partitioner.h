@@ -1,0 +1,51 @@
+// Ratio-driven automatic partitioner.
+//
+// The paper's experiments (Section 5) derive three partitions of the medical
+// system that differ in the ratio of local to global variables:
+//   Design1: local ≈ global,  Design2: local > global,  Design3: local < global.
+// This partitioner searches assignments of the *leaf* behaviors to two (or
+// more) components to hit a requested ratio class while keeping component
+// loads balanced; variables are then auto-assigned to their majority
+// accessor component. For specs with up to `exhaustive_limit` leaves the
+// search is exhaustive (exact); beyond that a deterministic greedy +
+// pairwise-improvement search is used.
+//
+// Allocation/partitioning *quality* is outside the paper's scope (it defers
+// to SpecSyn [5]); this component exists to reproduce the experimental
+// setups.
+#pragma once
+
+#include "partition/partition.h"
+
+namespace specsyn {
+
+enum class RatioGoal : uint8_t {
+  Balanced,   // |local - global| minimal          (Design1)
+  MoreLocal,  // maximize local - global, global>0 (Design2)
+  MoreGlobal, // maximize global - local           (Design3)
+};
+
+[[nodiscard]] const char* to_string(RatioGoal g);
+
+struct PartitionerOptions {
+  RatioGoal goal = RatioGoal::Balanced;
+  /// Exhaustive search bound on 2^leaves (two-component allocations only).
+  size_t exhaustive_limit = 18;
+  /// Weight of the component-size imbalance penalty.
+  double balance_weight = 0.5;
+};
+
+struct PartitionerResult {
+  Partition partition;
+  size_t local_vars = 0;
+  size_t global_vars = 0;
+  double score = 0.0;
+};
+
+/// Searches for a partition of `spec` over `alloc` matching the goal.
+/// Requires at least two components and at least two leaf behaviors.
+[[nodiscard]] PartitionerResult make_ratio_partition(
+    const Specification& spec, const AccessGraph& graph, Allocation alloc,
+    const PartitionerOptions& opts = {});
+
+}  // namespace specsyn

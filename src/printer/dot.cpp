@@ -1,0 +1,70 @@
+#include "printer/dot.h"
+
+#include <sstream>
+
+namespace specsyn {
+
+namespace {
+
+void emit_edges(std::ostringstream& os, const AccessGraph& graph) {
+  for (const DataChannel& c : graph.data_channels()) {
+    if (c.dir == AccessDir::Write) {
+      os << "  \"" << c.behavior << "\" -> \"" << c.var << "\"";
+    } else {
+      os << "  \"" << c.var << "\" -> \"" << c.behavior << "\"";
+    }
+    os << " [label=\"" << c.sites << "\"];\n";
+  }
+  for (const ControlChannel& c : graph.control_channels()) {
+    os << "  \"" << c.from << "\" -> \"" << c.to
+       << "\" [style=dashed, color=gray"
+       << (c.guarded ? ", label=\"?\"" : "") << "];\n";
+  }
+}
+
+void emit_node_styles(std::ostringstream& os, const AccessGraph& graph) {
+  for (const std::string& b : graph.behaviors()) {
+    os << "  \"" << b << "\" [shape=box];\n";
+  }
+  for (const std::string& v : graph.variables()) {
+    os << "  \"" << v << "\" [shape=ellipse, style=filled, fillcolor=lightgray];\n";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const AccessGraph& graph) {
+  std::ostringstream os;
+  os << "digraph access_graph {\n  rankdir=LR;\n";
+  emit_node_styles(os, graph);
+  emit_edges(os, graph);
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const AccessGraph& graph, const Partition& part) {
+  std::ostringstream os;
+  os << "digraph access_graph {\n  rankdir=LR;\n";
+  const Allocation& alloc = part.allocation();
+  for (size_t c = 0; c < alloc.size(); ++c) {
+    os << "  subgraph cluster_" << c << " {\n"
+       << "    label=\"" << alloc.components[c].name << "\";\n";
+    for (const std::string& b : graph.behaviors()) {
+      if (part.component_of_behavior(b) == c) {
+        os << "    \"" << b << "\" [shape=box];\n";
+      }
+    }
+    for (const std::string& v : graph.variables()) {
+      if (part.component_of_var(v) == c) {
+        os << "    \"" << v
+           << "\" [shape=ellipse, style=filled, fillcolor=lightgray];\n";
+      }
+    }
+    os << "  }\n";
+  }
+  emit_edges(os, graph);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace specsyn

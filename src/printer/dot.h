@@ -1,0 +1,20 @@
+// Graphviz DOT export of access graphs (Figure 1/2-style pictures).
+#pragma once
+
+#include <string>
+
+#include "graph/access_graph.h"
+#include "partition/partition.h"
+
+namespace specsyn {
+
+/// Renders behaviors as boxes, variables as ellipses, data channels as
+/// directed edges (read: var->behavior is not distinguished; direction
+/// follows write/read), control channels as dashed edges.
+[[nodiscard]] std::string to_dot(const AccessGraph& graph);
+
+/// Same, with nodes clustered by partition component.
+[[nodiscard]] std::string to_dot(const AccessGraph& graph,
+                                 const Partition& part);
+
+}  // namespace specsyn

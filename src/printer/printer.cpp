@@ -1,0 +1,250 @@
+#include "printer/printer.h"
+
+#include <sstream>
+
+namespace specsyn {
+
+namespace {
+
+// Expression printing with minimal parentheses: a child is parenthesized
+// when its binding is weaker than (or, for right operands of left-
+// associative operators, equal to) the parent's.
+std::string expr_to_string(const Expr& e, int parent_prec, bool is_right) {
+  switch (e.kind) {
+    case Expr::Kind::IntLit:
+      return std::to_string(e.int_value);
+    case Expr::Kind::NameRef:
+      return e.name;
+    case Expr::Kind::Unary:
+      return std::string(to_string(e.un_op)) + "(" +
+             expr_to_string(*e.args[0], 0, false) + ")";
+    case Expr::Kind::Binary: {
+      const int prec = precedence(e.bin_op);
+      std::string s = expr_to_string(*e.args[0], prec, false) + " " +
+                      to_string(e.bin_op) + " " +
+                      expr_to_string(*e.args[1], prec, true);
+      if (prec < parent_prec || (prec == parent_prec && is_right)) {
+        return "(" + s + ")";
+      }
+      return s;
+    }
+  }
+  return "?";
+}
+
+class Printer {
+ public:
+  explicit Printer(const PrintOptions& opts) : opts_(opts) {}
+
+  std::string result() { return os_.str(); }
+
+  void print_spec(const Specification& spec) {
+    os_ << "spec " << spec.name << ";\n\n";
+    for (const auto& v : spec.vars) print_var(v);
+    for (const auto& s : spec.signals) print_signal(s);
+    if (!spec.vars.empty() || !spec.signals.empty()) os_ << "\n";
+    for (const auto& p : spec.procedures) {
+      print_proc(p);
+      os_ << "\n";
+    }
+    if (spec.top) print_behavior(*spec.top);
+  }
+
+  void print_behavior(const Behavior& b) {
+    indent();
+    os_ << "behavior " << b.name << " : " << to_string(b.kind) << " {";
+    if (opts_.annotate) {
+      os_ << "  // " << b.children.size() << " children";
+    }
+    os_ << "\n";
+    ++level_;
+    for (const auto& v : b.vars) print_var(v);
+    for (const auto& s : b.signals) print_signal(s);
+    if (b.is_leaf()) {
+      print_block_body(b.body);
+    } else {
+      for (const auto& c : b.children) print_behavior(*c);
+      if (!b.transitions.empty()) {
+        indent();
+        os_ << "transitions {\n";
+        ++level_;
+        for (const auto& t : b.transitions) {
+          indent();
+          os_ << t.from << " -> " << (t.completes() ? "complete" : t.to);
+          if (t.guard) os_ << " when " << expr_str(*t.guard);
+          os_ << ";\n";
+        }
+        --level_;
+        indent();
+        os_ << "}\n";
+      }
+    }
+    --level_;
+    indent();
+    os_ << "}\n";
+  }
+
+  void print_stmt(const Stmt& s) {
+    indent();
+    switch (s.kind) {
+      case Stmt::Kind::Assign:
+        os_ << s.target << " := " << expr_str(*s.expr) << ";\n";
+        break;
+      case Stmt::Kind::SignalAssign:
+        os_ << s.target << " <= " << expr_str(*s.expr) << ";\n";
+        break;
+      case Stmt::Kind::If:
+        os_ << "if " << expr_str(*s.expr) << " {\n";
+        ++level_;
+        print_block_body(s.then_block);
+        --level_;
+        indent();
+        if (s.else_block.empty()) {
+          os_ << "}\n";
+        } else {
+          os_ << "} else {\n";
+          ++level_;
+          print_block_body(s.else_block);
+          --level_;
+          indent();
+          os_ << "}\n";
+        }
+        break;
+      case Stmt::Kind::While:
+        os_ << "while " << expr_str(*s.expr) << " {\n";
+        ++level_;
+        print_block_body(s.then_block);
+        --level_;
+        indent();
+        os_ << "}\n";
+        break;
+      case Stmt::Kind::Loop:
+        os_ << "loop {\n";
+        ++level_;
+        print_block_body(s.then_block);
+        --level_;
+        indent();
+        os_ << "}\n";
+        break;
+      case Stmt::Kind::Wait:
+        os_ << "wait " << expr_str(*s.expr) << ";\n";
+        break;
+      case Stmt::Kind::Delay:
+        os_ << "delay " << s.delay << ";\n";
+        break;
+      case Stmt::Kind::Call: {
+        os_ << "call " << s.callee << "(";
+        for (size_t i = 0; i < s.args.size(); ++i) {
+          if (i) os_ << ", ";
+          os_ << expr_str(*s.args[i]);
+        }
+        os_ << ");\n";
+        break;
+      }
+      case Stmt::Kind::Break:
+        os_ << "break;\n";
+        break;
+      case Stmt::Kind::Nop:
+        os_ << "nop;\n";
+        break;
+    }
+  }
+
+  void print_proc(const Procedure& p) {
+    indent();
+    os_ << "proc " << p.name << "(";
+    for (size_t i = 0; i < p.params.size(); ++i) {
+      if (i) os_ << ", ";
+      const Param& prm = p.params[i];
+      if (prm.is_out) os_ << "out ";
+      os_ << prm.name << " : " << prm.type.str();
+    }
+    os_ << ") {\n";
+    ++level_;
+    for (const auto& [name, type] : p.locals) {
+      indent();
+      os_ << "var " << name << " : " << type.str() << ";\n";
+    }
+    print_block_body(p.body);
+    --level_;
+    indent();
+    os_ << "}\n";
+  }
+
+ private:
+  void print_block_body(const StmtList& stmts) {
+    for (const auto& s : stmts) print_stmt(*s);
+  }
+
+  void print_var(const VarDecl& v) {
+    indent();
+    if (v.is_observable) os_ << "observable ";
+    os_ << "var " << v.name << " : " << v.type.str();
+    if (v.init != 0) os_ << " := " << v.init;
+    os_ << ";\n";
+  }
+
+  void print_signal(const SignalDecl& s) {
+    indent();
+    os_ << "signal " << s.name << " : " << s.type.str();
+    if (s.init != 0) os_ << " := " << s.init;
+    os_ << ";\n";
+  }
+
+  void indent() {
+    for (int i = 0; i < level_ * opts_.indent; ++i) os_ << ' ';
+  }
+
+  static std::string expr_str(const Expr& e) {
+    return expr_to_string(e, /*parent_prec=*/0, /*is_right=*/false);
+  }
+
+  PrintOptions opts_;
+  std::ostringstream os_;
+  int level_ = 0;
+};
+
+}  // namespace
+
+std::string print(const Specification& spec, const PrintOptions& opts) {
+  Printer p(opts);
+  p.print_spec(spec);
+  return p.result();
+}
+
+std::string print(const Behavior& b, const PrintOptions& opts) {
+  Printer p(opts);
+  p.print_behavior(b);
+  return p.result();
+}
+
+std::string print(const Expr& e) { return expr_to_string(e, 0, false); }
+
+std::string print(const Stmt& s, const PrintOptions& opts) {
+  Printer p(opts);
+  p.print_stmt(s);
+  return p.result();
+}
+
+std::string print(const Procedure& proc, const PrintOptions& opts) {
+  Printer p(opts);
+  p.print_proc(proc);
+  return p.result();
+}
+
+size_t count_lines(const std::string& text) {
+  size_t lines = 0;
+  bool nonblank = false;
+  for (char c : text) {
+    if (c == '\n') {
+      if (nonblank) ++lines;
+      nonblank = false;
+    } else if (c != ' ' && c != '\t' && c != '\r') {
+      nonblank = true;
+    }
+  }
+  if (nonblank) ++lines;
+  return lines;
+}
+
+}  // namespace specsyn

@@ -1,0 +1,43 @@
+// Pretty-printer: emits a Specification as canonical SpecLang text.
+//
+// The printed form is (a) re-parseable by the SpecLang parser — the
+// round-trip `parse(print(s))` reproduces `s` structurally, which the test
+// suite checks — and (b) the size metric of the paper's Figure 10: "number
+// of lines in the refined specification" is `count_lines(print(spec))`.
+#pragma once
+
+#include <string>
+
+#include "spec/specification.h"
+
+namespace specsyn {
+
+struct PrintOptions {
+  /// Spaces per indentation level.
+  int indent = 2;
+  /// Emit `// kind` trailers on behavior headers (not re-parsed; off by
+  /// default so round-trip tests see canonical text).
+  bool annotate = false;
+};
+
+/// Prints the full specification.
+[[nodiscard]] std::string print(const Specification& spec,
+                                const PrintOptions& opts = {});
+
+/// Prints a single behavior subtree (used in error messages and examples).
+[[nodiscard]] std::string print(const Behavior& b, const PrintOptions& opts = {});
+
+/// Prints one expression (minimal parentheses).
+[[nodiscard]] std::string print(const Expr& e);
+
+/// Prints one statement subtree.
+[[nodiscard]] std::string print(const Stmt& s, const PrintOptions& opts = {});
+
+/// Prints one procedure.
+[[nodiscard]] std::string print(const Procedure& p,
+                                const PrintOptions& opts = {});
+
+/// Number of non-empty lines in `text` — the Figure 10 size metric.
+[[nodiscard]] size_t count_lines(const std::string& text);
+
+}  // namespace specsyn

@@ -1,0 +1,26 @@
+// Architecture datasheet generation.
+//
+// Renders a RefineResult as a human-readable Markdown report: the emerging
+// architecture the refinement embedded in the specification — components and
+// what runs on them, buses with roles/masters/arbitration, memory modules
+// with their address maps, interfaces, control signals, and headline
+// statistics. This is the "documenting the evolution of the design" role
+// the paper assigns to refinement, in a form reviewers can read without
+// parsing the refined SpecLang.
+#pragma once
+
+#include <string>
+
+#include "estimate/rates.h"
+#include "refine/refiner.h"
+
+namespace specsyn {
+
+/// Renders the architecture of `result` (refined from `part`). `rates` is
+/// optional: pass the Figure 9-style report to include per-bus transfer
+/// rates, or nullptr to omit the column.
+[[nodiscard]] std::string architecture_report(const RefineResult& result,
+                                              const Partition& part,
+                                              const BusRateReport* rates = nullptr);
+
+}  // namespace specsyn

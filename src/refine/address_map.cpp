@@ -1,0 +1,64 @@
+#include "refine/address_map.h"
+
+namespace specsyn {
+
+namespace {
+uint64_t beats_for(Type t, ProtocolStyle style) {
+  if (style == ProtocolStyle::FullHandshake) return 1;
+  return (t.width + 7) / 8;
+}
+}  // namespace
+
+AddressMap::AddressMap(const Partition& part, ProtocolStyle style)
+    : style_(style) {
+  const Specification& spec = part.spec();
+  uint32_t max_width = 1;
+
+  // Contiguous layout per component, components in index order.
+  for (size_t c = 0; c < part.allocation().size(); ++c) {
+    const uint64_t lo = next_;
+    for (const VarDecl* v : spec.all_vars()) {
+      if (part.component_of_var(v->name) != c) continue;
+      const uint64_t beats = beats_for(v->type, style);
+      addr_[v->name] = next_;
+      beats_[v->name] = beats;
+      next_ += beats;
+      max_width = std::max(max_width, v->type.width);
+    }
+    if (next_ > lo) ranges_[c] = {lo, next_ - 1};
+  }
+
+  uint32_t addr_bits = 1;
+  while ((uint64_t{1} << addr_bits) < std::max<uint64_t>(next_, 2)) {
+    ++addr_bits;
+  }
+  addr_type_ = Type::of_width(addr_bits);
+  data_type_ = style == ProtocolStyle::ByteSerial ? Type::u8()
+                                                  : Type::of_width(max_width);
+}
+
+uint64_t AddressMap::addr_of(const std::string& var) const {
+  auto it = addr_.find(var);
+  if (it == addr_.end()) {
+    throw SpecError("address map: unknown variable '" + var + "'");
+  }
+  return it->second;
+}
+
+uint64_t AddressMap::beats_of(const std::string& var) const {
+  auto it = beats_.find(var);
+  if (it == beats_.end()) {
+    throw SpecError("address map: unknown variable '" + var + "'");
+  }
+  return it->second;
+}
+
+bool AddressMap::range_of(size_t component, uint64_t& lo, uint64_t& hi) const {
+  auto it = ranges_.find(component);
+  if (it == ranges_.end()) return false;
+  lo = it->second.first;
+  hi = it->second.second;
+  return true;
+}
+
+}  // namespace specsyn

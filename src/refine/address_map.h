@@ -1,0 +1,55 @@
+// Address assignment for variables mapped to memory modules.
+//
+// Every variable of the original specification receives a unique address in
+// a single flat address space, laid out contiguously per owning component
+// (so Model4's bus interfaces can route by address range). With the
+// ByteSerial protocol each variable occupies ceil(width/8) consecutive byte
+// addresses; with FullHandshake it occupies one.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "partition/partition.h"
+#include "refine/types.h"
+
+namespace specsyn {
+
+class AddressMap {
+ public:
+  /// Lays out all variables of `part.spec()` grouped by their component.
+  AddressMap(const Partition& part, ProtocolStyle style);
+
+  /// Base address of `var` (first beat for ByteSerial). Throws on unknown.
+  [[nodiscard]] uint64_t addr_of(const std::string& var) const;
+
+  /// Number of bus transactions one access of `var` takes (1, or the beat
+  /// count under ByteSerial).
+  [[nodiscard]] uint64_t beats_of(const std::string& var) const;
+
+  /// Inclusive address range [lo, hi] of component `c`'s variables; returns
+  /// false if the component owns no variables.
+  [[nodiscard]] bool range_of(size_t component, uint64_t& lo,
+                              uint64_t& hi) const;
+
+  /// Address bus type (width fits the highest address; at least 1 bit).
+  [[nodiscard]] Type addr_type() const { return addr_type_; }
+  /// Data bus type: max variable width (FullHandshake) or 8 bits (ByteSerial).
+  [[nodiscard]] Type data_type() const { return data_type_; }
+
+  [[nodiscard]] ProtocolStyle style() const { return style_; }
+  [[nodiscard]] size_t total_slots() const { return next_; }
+
+ private:
+  ProtocolStyle style_;
+  std::map<std::string, uint64_t> addr_;
+  std::map<std::string, uint64_t> beats_;
+  std::map<size_t, std::pair<uint64_t, uint64_t>> ranges_;
+  Type addr_type_ = Type::u8();
+  Type data_type_ = Type::u8();
+  uint64_t next_ = 0;
+};
+
+}  // namespace specsyn

@@ -1,0 +1,52 @@
+#include "refine/arbiter_gen.h"
+
+#include "refine/protocol.h"
+#include "spec/builder.h"
+#include "support/diagnostics.h"
+
+namespace specsyn {
+
+using namespace build;
+
+BehaviorPtr generate_arbiter(const std::string& bus,
+                             const std::vector<std::string>& masters) {
+  if (masters.size() < 2) {
+    throw SpecError("arbiter for bus '" + bus + "' needs >= 2 masters");
+  }
+
+  // wait req_1 == 1 || req_2 == 1 || ...
+  ExprPtr any_req = eq(ref(req_signal(bus, masters[0])), lit(1, Type::bit()));
+  for (size_t i = 1; i < masters.size(); ++i) {
+    any_req = lor(std::move(any_req),
+                  eq(ref(req_signal(bus, masters[i])), lit(1, Type::bit())));
+  }
+
+  // Priority chain: if req_1 { grant_1 } else if req_2 { grant_2 } ...
+  StmtList chain;
+  for (size_t i = masters.size(); i-- > 0;) {
+    const std::string req = req_signal(bus, masters[i]);
+    const std::string ack = ack_signal(bus, masters[i]);
+    StmtList grant = block(set(ack, 1), wait_eq(req, 0), set(ack, 0));
+    if (chain.empty()) {
+      chain = block(if_(eq(ref(req), lit(1, Type::bit())), std::move(grant)));
+    } else {
+      chain = block(if_(eq(ref(req), lit(1, Type::bit())), std::move(grant),
+                        std::move(chain)));
+    }
+  }
+
+  StmtList body = block(wait(std::move(any_req)));
+  for (auto& s : chain) body.push_back(std::move(s));
+  return Behavior::make_leaf("ARB_" + bus, block(loop(std::move(body))));
+}
+
+void declare_arbitration_signals(const std::string& bus,
+                                 const std::vector<std::string>& masters,
+                                 std::vector<SignalDecl>& out) {
+  for (const std::string& m : masters) {
+    out.push_back(signal(req_signal(bus, m)));
+    out.push_back(signal(ack_signal(bus, m)));
+  }
+}
+
+}  // namespace specsyn

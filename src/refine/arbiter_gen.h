@@ -1,0 +1,26 @@
+// Bus arbiter generation (architecture-related refinement, Figure 7).
+//
+// A bus with more than one master gets a fixed-priority arbiter: masters
+// assert <bus>_req_<master>, the arbiter grants <bus>_ack_<master> to the
+// highest-priority requester (declaration order — the paper's "B1 has higher
+// priority than B2"), and holds the grant until the request is withdrawn.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spec/behavior.h"
+
+namespace specsyn {
+
+/// Generates the arbiter behavior for `bus` with the given master identities
+/// (earlier = higher priority). Requires >= 2 masters.
+[[nodiscard]] BehaviorPtr generate_arbiter(const std::string& bus,
+                                           const std::vector<std::string>& masters);
+
+/// Declares the per-master req/ack lines of an arbitrated bus.
+void declare_arbitration_signals(const std::string& bus,
+                                 const std::vector<std::string>& masters,
+                                 std::vector<SignalDecl>& out);
+
+}  // namespace specsyn

@@ -1,0 +1,90 @@
+#include "refine/bus_interface_gen.h"
+
+#include "spec/builder.h"
+
+namespace specsyn {
+
+using namespace build;
+
+namespace {
+
+/// One forwarding server: slave on `slave_bus` (optionally restricted to an
+/// address range), master on `master_bus` under identity `self`. Transfers
+/// are forwarded one transaction (one beat) at a time, so the generator is
+/// protocol-style agnostic.
+BehaviorPtr forwarding_server(const std::string& name,
+                              const std::string& slave_bus,
+                              const std::string& master_bus,
+                              const std::string& self, Type word_t,
+                              bool restrict_range, uint64_t lo, uint64_t hi,
+                              Type addr_t, MasterUse& use) {
+  const BusSignals s = BusSignals::of(slave_bus);
+  use.note(master_bus, self);
+
+  ExprPtr trigger = eq(ref(s.start), lit(1, Type::bit()));
+  if (restrict_range) {
+    trigger = land(std::move(trigger),
+                   land(ge(ref(s.addr), lit(lo, addr_t)),
+                        le(ref(s.addr), lit(hi, addr_t))));
+  }
+
+  auto b = leaf(
+      name,
+      block(loop(block(
+          wait(std::move(trigger)),
+          if_(eq(ref(s.rd), lit(1, Type::bit())),
+              block(call(ProtocolGen::read_proc_name(master_bus, self),
+                         args(ref(s.addr), lit(1, Type::u8()),
+                              ref(name + "_buf"))),
+                    sassign(s.data, ref(name + "_buf")))),
+          if_(eq(ref(s.wr), lit(1, Type::bit())),
+              block(assign(name + "_buf", ref(s.data)),
+                    call(ProtocolGen::write_proc_name(master_bus, self),
+                         args(ref(s.addr), lit(1, Type::u8()),
+                              ref(name + "_buf"))))),
+          set(s.done, 1), wait_eq(s.start, 0), set(s.done, 0)))));
+  // The interface's buffer space (the paper: "transferring data from the
+  // local memory to its buffer space").
+  b->vars.push_back(var(name + "_buf", word_t));
+  return b;
+}
+
+}  // namespace
+
+InterfaceBehaviors generate_interfaces(const InterfacePlan& ip,
+                                       const BusPlan& plan,
+                                       const AddressMap& amap,
+                                       MasterUse& use) {
+  InterfaceBehaviors out;
+  const Type word_t = amap.data_type();
+
+  if (ip.has_outbound) {
+    out.outbound = forwarding_server(
+        ip.outbound, ip.req_bus, plan.inter_bus(), ip.outbound, word_t,
+        /*restrict_range=*/false, 0, 0, amap.addr_type(), use);
+  }
+  if (ip.has_inbound) {
+    uint64_t lo = 0, hi = 0;
+    if (!amap.range_of(ip.component, lo, hi)) {
+      throw SpecError("interface generation: component has inbound traffic "
+                      "but owns no variables");
+    }
+    // Find the component's local bus.
+    std::string local_bus;
+    for (const BusDecl& b : plan.buses()) {
+      if (b.role == BusRole::Local && b.comp_a == ip.component) {
+        local_bus = b.name;
+      }
+    }
+    if (local_bus.empty()) {
+      throw SpecError("interface generation: no local bus for component");
+    }
+    out.inbound = forwarding_server(ip.inbound, plan.inter_bus(), local_bus,
+                                    ip.inbound, word_t,
+                                    /*restrict_range=*/true, lo, hi,
+                                    amap.addr_type(), use);
+  }
+  return out;
+}
+
+}  // namespace specsyn

@@ -1,0 +1,38 @@
+// Bus interface generation for Model4 (architecture-related refinement,
+// Figure 8).
+//
+// Each component taking part in message passing gets up to two interface
+// behaviors:
+//   * IFACE_<C>_OUT — slave on the component's request bus, master on the
+//     shared inter-component bus: forwards each local behavior's remote
+//     access out of the component (Figure 8's Bus_interface_1 role).
+//   * IFACE_<C>_IN — slave on the inter bus for this component's address
+//     range, master on the component's local bus: fulfils remote requests
+//     against the local memory (Bus_interface_2's role).
+// A remote access thus traverses request bus -> inter bus -> remote local
+// bus, the three-bus path of Figure 8.
+#pragma once
+
+#include "refine/address_map.h"
+#include "refine/bus_plan.h"
+#include "refine/data_refine.h"
+#include "refine/protocol.h"
+
+namespace specsyn {
+
+/// Generated interface behaviors for one component (either may be null).
+struct InterfaceBehaviors {
+  BehaviorPtr outbound;
+  BehaviorPtr inbound;
+};
+
+/// Generates the interface pair described by `ip`. Registers the interfaces'
+/// master identities (outbound on the inter bus, inbound on the component's
+/// local bus) in `use` so the refiner emits their MST procedures and sizes
+/// the arbiters correctly.
+[[nodiscard]] InterfaceBehaviors generate_interfaces(const InterfacePlan& ip,
+                                                     const BusPlan& plan,
+                                                     const AddressMap& amap,
+                                                     MasterUse& use);
+
+}  // namespace specsyn

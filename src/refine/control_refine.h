@@ -1,0 +1,49 @@
+// Control-related refinement (Section 4.1, Figure 4).
+//
+// A behavior whose component differs from its parent's has been "moved out"
+// by partitioning. To preserve the execution sequence the pass
+//   * replaces the behavior in its parent's child list with a `<B>_CTRL`
+//     stub that pulses <B>_start and waits for <B>_done (4-phase, so the
+//     stub may re-trigger the behavior any number of times — e.g. from
+//     inside loops or re-entered composites), and
+//   * emits on the target component a `<B>_NEW` server that waits for
+//     <B>_start, runs B's (recursively transformed) body, and pulses
+//     <B>_done — Figure 4(b)'s loop-leaf scheme for leaves, Figure 4(c)'s
+//     wrapper composite otherwise.
+// Cuts nest: a moved subtree may itself contain behaviors pinned elsewhere.
+//
+// The pass also *removes all variable declarations* from the produced trees:
+// in every implementation model the variables move into generated memory
+// behaviors (data-related refinement rewrites the accesses to match).
+#pragma once
+
+#include <vector>
+
+#include "partition/partition.h"
+#include "refine/types.h"
+
+namespace specsyn {
+
+/// Per-component output of control refinement.
+struct ComponentTree {
+  /// The component's main control flow (the transformed original top);
+  /// null for every component except the one hosting the top behavior.
+  BehaviorPtr main;
+  /// `<B>_NEW` server behaviors for behaviors moved onto this component.
+  /// Servers loop forever and never complete.
+  std::vector<BehaviorPtr> servers;
+
+  [[nodiscard]] bool empty() const { return !main && servers.empty(); }
+};
+
+struct ControlRefineResult {
+  std::vector<ComponentTree> components;        // indexed by component
+  std::vector<SignalDecl> signals;              // <B>_start/<B>_done pairs
+  std::vector<std::string> moved_behaviors;     // refined cut behaviors
+};
+
+/// Runs control refinement of `part.spec()` under `part`.
+[[nodiscard]] ControlRefineResult control_refine(const Partition& part,
+                                                 LeafScheme leaf_scheme);
+
+}  // namespace specsyn

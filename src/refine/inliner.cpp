@@ -1,0 +1,170 @@
+#include "refine/inliner.h"
+
+#include <map>
+#include <set>
+
+#include "spec/builder.h"
+
+namespace specsyn {
+
+namespace {
+
+/// Rewrites `e` in place: NameRefs matching an in-param are replaced by a
+/// clone of the argument expression; NameRefs matching an out-param or a
+/// renamed local get the substituted name.
+void subst_expr(Expr& e, const std::map<std::string, const Expr*>& in_args,
+                const std::map<std::string, std::string>& renames) {
+  if (e.kind == Expr::Kind::NameRef) {
+    auto in = in_args.find(e.name);
+    if (in != in_args.end()) {
+      e = std::move(*in->second->clone());  // replace node wholesale
+      return;
+    }
+    auto rn = renames.find(e.name);
+    if (rn != renames.end()) e.name = rn->second;
+    return;
+  }
+  for (auto& a : e.args) subst_expr(*a, in_args, renames);
+}
+
+void subst_block(StmtList& stmts, const std::map<std::string, const Expr*>& in_args,
+                 const std::map<std::string, std::string>& renames) {
+  for (auto& s : stmts) {
+    if (s->expr) subst_expr(*s->expr, in_args, renames);
+    if (!s->target.empty()) {
+      auto rn = renames.find(s->target);
+      if (rn != renames.end()) s->target = rn->second;
+      // An assignment to an in-param inside a protocol body would be
+      // unsubstitutable; generated procedures never do that.
+      if (in_args.count(s->target) != 0) {
+        throw SpecError("inliner: procedure assigns to in-parameter '" +
+                        s->target + "'");
+      }
+    }
+    for (auto& a : s->args) subst_expr(*a, in_args, renames);
+    subst_block(s->then_block, in_args, renames);
+    subst_block(s->else_block, in_args, renames);
+  }
+}
+
+class Inliner {
+ public:
+  Inliner(Specification& spec,
+          const std::function<bool(const std::string&)>& pred)
+      : spec_(spec), pred_(pred) {}
+
+  size_t run() {
+    if (spec_.top) {
+      spec_.top->for_each([&](Behavior& b) {
+        if (b.is_leaf()) {
+          holder_ = &b;
+          local_names_.clear();
+          b.body = expand_block(std::move(b.body));
+        }
+      });
+    }
+    // Drop procedures that were fully inlined and are no longer called.
+    std::set<std::string> still_called;
+    if (spec_.top) {
+      spec_.top->for_each([&](const Behavior& b) {
+        collect_calls(b.body, still_called);
+      });
+    }
+    for (const Procedure& p : spec_.procedures) {
+      collect_calls(p.body, still_called);
+    }
+    std::vector<Procedure> kept;
+    for (auto& p : spec_.procedures) {
+      if (!pred_(p.name) || still_called.count(p.name) != 0) {
+        kept.push_back(std::move(p));
+      }
+    }
+    spec_.procedures = std::move(kept);
+    return expanded_;
+  }
+
+ private:
+  static void collect_calls(const StmtList& stmts, std::set<std::string>& out) {
+    for (const auto& s : stmts) {
+      if (s->kind == Stmt::Kind::Call) out.insert(s->callee);
+      collect_calls(s->then_block, out);
+      collect_calls(s->else_block, out);
+    }
+  }
+
+  StmtList expand_block(StmtList stmts) {
+    StmtList out;
+    for (auto& s : stmts) {
+      if (s->kind == Stmt::Kind::Call && pred_(s->callee)) {
+        expand_call(*s, out);
+        continue;
+      }
+      s->then_block = expand_block(std::move(s->then_block));
+      s->else_block = expand_block(std::move(s->else_block));
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+  void expand_call(const Stmt& call, StmtList& out) {
+    const Procedure* proc = spec_.find_procedure(call.callee);
+    if (proc == nullptr) {
+      throw SpecError("inliner: call to unknown procedure '" + call.callee +
+                      "'");
+    }
+    if (proc->params.size() != call.args.size()) {
+      throw SpecError("inliner: arity mismatch calling '" + call.callee + "'");
+    }
+
+    std::map<std::string, const Expr*> in_args;
+    std::map<std::string, std::string> renames;
+    for (size_t i = 0; i < proc->params.size(); ++i) {
+      const Param& p = proc->params[i];
+      if (p.is_out) {
+        // Out-params bind by name: writes go straight to the caller target.
+        renames[p.name] = call.args[i]->name;
+      } else {
+        in_args[p.name] = call.args[i].get();
+      }
+    }
+    // Hoist locals: one shared set per (holder behavior, procedure) — call
+    // sites are sequential within one behavior, so reuse is safe.
+    for (const auto& [local, type] : proc->locals) {
+      const std::string key = call.callee + "/" + local;
+      auto it = local_names_.find(key);
+      if (it == local_names_.end()) {
+        std::string fresh = holder_->name + "_" + call.callee + "_" + local;
+        holder_->vars.push_back(build::var(fresh, type));
+        it = local_names_.emplace(key, std::move(fresh)).first;
+      }
+      renames[local] = it->second;
+    }
+
+    StmtList body = Stmt::clone_list(proc->body);
+    subst_block(body, in_args, renames);
+    // Procedure locals start at 0 on every activation; reused hoisted
+    // locals must be re-initialized to preserve that semantics.
+    for (const auto& [local, type] : proc->locals) {
+      (void)type;
+      out.push_back(build::assign(renames.at(local), build::lit(0)));
+    }
+    for (auto& s : body) out.push_back(std::move(s));
+    ++expanded_;
+  }
+
+  Specification& spec_;
+  const std::function<bool(const std::string&)>& pred_;
+  Behavior* holder_ = nullptr;
+  std::map<std::string, std::string> local_names_;
+  size_t expanded_ = 0;
+};
+
+}  // namespace
+
+size_t inline_procedure_calls(
+    Specification& spec,
+    const std::function<bool(const std::string&)>& should_inline) {
+  return Inliner(spec, should_inline).run();
+}
+
+}  // namespace specsyn

@@ -1,0 +1,33 @@
+// Procedure-call inlining for refined specifications.
+//
+// The paper's flow (SpecSyn emitting VHDL in 1995) expanded the bus protocol
+// at every rewritten access site — that is what makes its refined
+// specifications 11-19x larger than the input, and what makes Model3 the
+// *smallest* model (its dedicated buses need no per-site req/ack acquisition
+// code) and Model4 the largest. With `RefineConfig::inline_protocols`
+// (default on) the refiner reproduces that: every call to a generated MST_*
+// procedure is replaced by the procedure body, substituting arguments and
+// hoisting procedure locals into uniquely named behavior variables; fully
+// inlined procedures are removed from the specification.
+//
+// Substitution is sound because call sites produced by data refinement pass
+// only literals and variable references (side-effect-free, single-eval safe).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "spec/specification.h"
+
+namespace specsyn {
+
+/// Inlines every call to a procedure for which `should_inline(name)` returns
+/// true, everywhere in `spec` (behavior bodies only; procedure bodies are
+/// not inlined into each other — generated protocol procedures are flat).
+/// Returns the number of call sites expanded. Inlined procedures that are no
+/// longer referenced are removed.
+size_t inline_procedure_calls(
+    Specification& spec,
+    const std::function<bool(const std::string&)>& should_inline);
+
+}  // namespace specsyn

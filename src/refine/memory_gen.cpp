@@ -1,0 +1,42 @@
+#include "refine/memory_gen.h"
+
+namespace specsyn {
+
+BehaviorPtr generate_memory(const MemoryModule& m, const ProtocolGen& proto,
+                            const AddressMap& amap, const Specification& orig) {
+  if (m.port_buses.empty()) {
+    throw SpecError("memory module '" + m.name + "' has no port buses");
+  }
+
+  std::vector<VarDecl> decls;
+  std::vector<SlaveVar> slave_vars;
+  for (const std::string& name : m.vars) {
+    const VarDecl* v = orig.find_var(name);
+    if (v == nullptr) {
+      throw SpecError("memory module '" + m.name + "' stores unknown variable '" +
+                      name + "'");
+    }
+    decls.push_back(*v);
+    slave_vars.push_back({name, amap.addr_of(name), v->type});
+  }
+
+  if (m.port_buses.size() == 1) {
+    auto b = Behavior::make_leaf(
+        m.name, proto.slave_server_loop(m.port_buses[0].first, slave_vars));
+    b->vars = std::move(decls);
+    return b;
+  }
+
+  // Multi-port: concurrent port servers over shared variable declarations.
+  std::vector<BehaviorPtr> ports;
+  for (const auto& [bus, accessor] : m.port_buses) {
+    (void)accessor;
+    ports.push_back(Behavior::make_leaf(
+        m.name + "_port_" + bus, proto.slave_server_loop(bus, slave_vars)));
+  }
+  auto b = Behavior::make_conc(m.name, std::move(ports));
+  b->vars = std::move(decls);
+  return b;
+}
+
+}  // namespace specsyn

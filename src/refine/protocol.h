@@ -1,0 +1,98 @@
+// Bus protocol generation: the MST_send / MST_receive master procedures and
+// the SLV-side server loops of Figure 5(c)/(d).
+//
+// A bus is a bundle of six signals (start, done, rd, wr, addr, data) plus,
+// when the bus is arbitrated, one req/ack pair per master. Master-side
+// transfers are emitted as procedures (two per (bus, master): read and
+// write) so every rewritten variable access is a single `call`; slave-side
+// transfers are emitted inline into the generated memory / bus-interface
+// server loops.
+//
+// Two protocol styles are provided:
+//  * FullHandshake — Figure 5(d): one 4-phase handshake per access, the data
+//    bus is as wide as the widest variable.
+//  * ByteSerial — 4-phase handshake on an 8-bit data bus; each access
+//    transfers ceil(width/8) beats at consecutive byte addresses.
+//
+// Procedure signature (identical across styles so call sites are uniform):
+//    proc <name>(a : addrT, beats : int8 [, v : wordT] [, out d : wordT])
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spec/specification.h"
+#include "refine/types.h"
+
+namespace specsyn {
+
+/// Signal names of one bus's bundle.
+struct BusSignals {
+  std::string start, done, rd, wr, addr, data;
+
+  [[nodiscard]] static BusSignals of(const std::string& bus);
+};
+
+/// Per-master arbitration line names on an arbitrated bus.
+[[nodiscard]] std::string req_signal(const std::string& bus,
+                                     const std::string& master);
+[[nodiscard]] std::string ack_signal(const std::string& bus,
+                                     const std::string& master);
+
+/// One variable served by a slave loop.
+struct SlaveVar {
+  std::string name;
+  uint64_t base_addr = 0;
+  Type type = Type::u32();
+};
+
+class ProtocolGen {
+ public:
+  /// `addr_t`/`data_t` from the AddressMap; `word_t` is the value width used
+  /// by master procedures (the widest variable type).
+  ProtocolGen(ProtocolStyle style, Type addr_t, Type data_t, Type word_t);
+
+  [[nodiscard]] ProtocolStyle style() const { return style_; }
+  [[nodiscard]] Type word_type() const { return word_t_; }
+
+  /// Declares the start/done/rd/wr/addr/data signals of `bus`.
+  void declare_bus_signals(const std::string& bus,
+                           std::vector<SignalDecl>& out) const;
+
+  /// Canonical procedure names. `master` is empty on unarbitrated buses.
+  [[nodiscard]] static std::string read_proc_name(const std::string& bus,
+                                                  const std::string& master);
+  [[nodiscard]] static std::string write_proc_name(const std::string& bus,
+                                                   const std::string& master);
+
+  /// proc <name>(a : addrT, beats : int8, out d : wordT)
+  /// When `req`/`ack` are non-empty the transfer is wrapped in a
+  /// req/ack bus acquisition (Figure 7's master side).
+  [[nodiscard]] Procedure master_read_proc(const std::string& name,
+                                           const std::string& bus,
+                                           const std::string& req,
+                                           const std::string& ack) const;
+
+  /// proc <name>(a : addrT, beats : int8, v : wordT)
+  [[nodiscard]] Procedure master_write_proc(const std::string& name,
+                                            const std::string& bus,
+                                            const std::string& req,
+                                            const std::string& ack) const;
+
+  /// The body of a memory server: an infinite loop serving one transaction
+  /// per start pulse against the given variables (Figure 5(c)'s Memory
+  /// behavior). The returned statements form the complete leaf body.
+  [[nodiscard]] StmtList slave_server_loop(const std::string& bus,
+                                           const std::vector<SlaveVar>& vars) const;
+
+ private:
+  StmtList acquire(const std::string& req, const std::string& ack) const;
+  StmtList release(const std::string& req, const std::string& ack) const;
+
+  ProtocolStyle style_;
+  Type addr_t_;
+  Type data_t_;
+  Type word_t_;
+};
+
+}  // namespace specsyn

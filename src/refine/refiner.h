@@ -1,0 +1,64 @@
+// The model refinement driver: transforms a partitioned functional
+// specification into one of the four implementation models (the paper's
+// central contribution).
+//
+// Pipeline:
+//   1. AddressMap + BusPlan derive the memory/bus structure of the chosen
+//      model from the partition and access graph.
+//   2. Control-related refinement splits the behavior hierarchy across
+//      components (B_CTRL stubs / B_NEW servers, Section 4.1).
+//   3. Data-related refinement rewrites every variable access into MST_*
+//      protocol calls and refines transition guards (Section 4.2).
+//   4. Architecture-related refinement generates memory behaviors, bus
+//      arbiters for every bus with more than one master, and Model4's bus
+//      interfaces (Section 4.3).
+//   5. Everything is assembled into a new, valid, simulatable Specification
+//      whose top is a concurrent composite of component tops, memories,
+//      arbiters and interfaces.
+//
+// The refined specification is functionally equivalent to the original —
+// check_equivalence() holds by construction, and the test suite enforces it
+// across models, schemes, protocols and random specs.
+#pragma once
+
+#include "graph/access_graph.h"
+#include "partition/partition.h"
+#include "refine/address_map.h"
+#include "refine/bus_plan.h"
+#include "refine/types.h"
+
+namespace specsyn {
+
+struct RefineStats {
+  size_t memories = 0;
+  size_t memory_ports = 0;
+  size_t arbiters = 0;
+  size_t interfaces = 0;
+  size_t buses = 0;
+  size_t generated_procs = 0;   // emitted (0 after full protocol inlining)
+  size_t inlined_sites = 0;     // protocol call sites expanded in place
+  size_t control_signals = 0;   // B_start/B_done pairs count as 2 each
+  size_t moved_behaviors = 0;
+  size_t behaviors = 0;         // total behaviors in the refined spec
+};
+
+struct RefineResult {
+  Specification refined;
+  BusPlan plan;
+  AddressMap addresses;
+  RefineStats stats;
+  /// bus -> master identities (arbiter priority order). Buses with one
+  /// master are unarbitrated.
+  std::map<std::string, std::vector<std::string>> bus_masters;
+};
+
+/// Refines `part.spec()` (must be valid; original procedures must not access
+/// specification variables directly) into the implementation model selected
+/// by `cfg`. `graph` must be built from the same specification. Throws
+/// SpecError on precondition violations; the returned specification is
+/// always valid.
+[[nodiscard]] RefineResult refine(const Partition& part,
+                                  const AccessGraph& graph,
+                                  const RefineConfig& cfg = {});
+
+}  // namespace specsyn

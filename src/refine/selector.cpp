@@ -1,0 +1,43 @@
+#include "refine/selector.h"
+
+#include <algorithm>
+
+#include "estimate/rates.h"
+
+namespace specsyn {
+
+SelectionResult select_model(const Partition& part, const AccessGraph& graph,
+                             const ProfileResult& profile,
+                             const SelectionConstraints& c) {
+  SelectionResult out;
+
+  std::vector<ProtocolStyle> styles = {ProtocolStyle::FullHandshake};
+  if (c.explore_protocols) styles.push_back(ProtocolStyle::ByteSerial);
+
+  for (ImplModel m : {ImplModel::Model1, ImplModel::Model2, ImplModel::Model3,
+                      ImplModel::Model4}) {
+    for (ProtocolStyle ps : styles) {
+      Candidate cand;
+      cand.config.model = m;
+      cand.config.protocol = ps;
+      RefineResult r = refine(part, graph, cand.config);
+      BusRateReport rates = bus_rates(profile, part, r.plan, c.clock_hz);
+      cand.peak_mbps = rates.max_rate();
+      cand.cost = estimate_cost(r, rates, c.weights).total;
+      cand.feasible = c.max_bus_mbps <= 0.0 || cand.peak_mbps <= c.max_bus_mbps;
+      cand.stats = r.stats;
+      out.ranked.push_back(std::move(cand));
+    }
+  }
+
+  std::stable_sort(out.ranked.begin(), out.ranked.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     if (a.feasible != b.feasible) return a.feasible;
+                     if (a.feasible) return a.cost < b.cost;
+                     return a.peak_mbps < b.peak_mbps;
+                   });
+  if (!out.ranked.empty() && out.ranked.front().feasible) out.best = 0;
+  return out;
+}
+
+}  // namespace specsyn

@@ -1,0 +1,61 @@
+// Automatic implementation-model selection.
+//
+// Section 5's conclusion: "designers need to select an implementation model
+// based on design characteristics … or on design constraints, such as the
+// maximum allowable bus transfer rate". This component automates exactly
+// that exploration: refine the partitioned specification under every
+// implementation model (optionally both protocol styles), score each
+// against the designer's constraints (max per-bus rate, cost weights), and
+// return the ranked outcomes with the winner.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "estimate/cost.h"
+#include "estimate/profile.h"
+#include "refine/refiner.h"
+
+namespace specsyn {
+
+struct SelectionConstraints {
+  /// Hard per-bus transfer-rate ceiling in Mbit/s (0 = unconstrained).
+  double max_bus_mbps = 0.0;
+  /// Cost model weights used for ranking feasible candidates.
+  CostWeights weights;
+  /// Also explore the byte-serial protocol (doubles the candidate count).
+  bool explore_protocols = false;
+  /// Clock for converting profiled cycles to rates.
+  double clock_hz = 100e6;
+};
+
+struct Candidate {
+  RefineConfig config;
+  double peak_mbps = 0.0;
+  double cost = 0.0;
+  bool feasible = false;
+  RefineStats stats;
+};
+
+struct SelectionResult {
+  /// All evaluated candidates, ranked: feasible ones first by ascending
+  /// cost, then infeasible ones by ascending peak rate.
+  std::vector<Candidate> ranked;
+  /// Index into `ranked` of the recommendation, or nullopt if nothing is
+  /// feasible.
+  std::optional<size_t> best;
+
+  [[nodiscard]] const Candidate* recommended() const {
+    return best ? &ranked[*best] : nullptr;
+  }
+};
+
+/// Explores the four implementation models for the given partition. Uses
+/// `profile` (simulated or static) for the rate estimates, so the caller
+/// controls the estimation fidelity.
+[[nodiscard]] SelectionResult select_model(const Partition& part,
+                                           const AccessGraph& graph,
+                                           const ProfileResult& profile,
+                                           const SelectionConstraints& c = {});
+
+}  // namespace specsyn

@@ -1,0 +1,116 @@
+#include "sim/equivalence.h"
+
+#include <map>
+#include <sstream>
+
+namespace specsyn {
+
+namespace {
+
+// Splits a chronological write trace into per-variable value sequences.
+std::map<std::string, std::vector<uint64_t>> per_var(
+    const std::vector<WriteEvent>& writes) {
+  std::map<std::string, std::vector<uint64_t>> out;
+  for (const auto& w : writes) out[w.var].push_back(w.value);
+  return out;
+}
+
+}  // namespace
+
+std::string EquivalenceReport::summary() const {
+  if (equivalent) return "equivalent";
+  std::ostringstream os;
+  os << mismatches.size() << " mismatch(es):\n";
+  for (const auto& m : mismatches) os << "  - " << m << '\n';
+  return os.str();
+}
+
+EquivalenceReport check_equivalence(const Specification& original,
+                                    const Specification& refined,
+                                    const EquivalenceOptions& opts) {
+  EquivalenceReport report;
+
+  {
+    Simulator sim(original, opts.config);
+    report.original_result = sim.run();
+  }
+  {
+    Simulator sim(refined, opts.config);
+    report.refined_result = sim.run();
+  }
+
+  const SimResult& a = report.original_result;
+  const SimResult& b = report.refined_result;
+
+  if (a.status != SimResult::Status::Quiescent) {
+    report.mismatches.push_back("original simulation did not quiesce");
+  }
+  if (b.status != SimResult::Status::Quiescent) {
+    report.mismatches.push_back("refined simulation did not quiesce");
+  }
+  if (a.root_completed && !b.root_completed) {
+    // The refined top is a Concurrent composite whose server behaviors
+    // (memories, arbiters, bus interfaces) never complete, so the refined
+    // root does not complete. The real liveness criterion is that the
+    // original top behavior's control flow completed inside the refined
+    // spec, which we check via behavior completion counts below.
+    const std::string top_name = original.top ? original.top->name : "";
+    auto it = b.behavior_completions.find(top_name);
+    if (it == b.behavior_completions.end() || it->second == 0) {
+      report.mismatches.push_back(
+          "refined spec never completed the original top behavior '" +
+          top_name + "' (deadlock or starvation in inserted interfaces)");
+    }
+  }
+
+  // (1) Final values of every original variable.
+  for (const VarDecl* v : original.all_vars()) {
+    auto ita = a.final_vars.find(v->name);
+    auto itb = b.final_vars.find(v->name);
+    if (itb == b.final_vars.end()) {
+      report.mismatches.push_back("variable '" + v->name +
+                                  "' missing from refined spec");
+      continue;
+    }
+    if (ita->second != itb->second) {
+      std::ostringstream os;
+      os << "variable '" << v->name << "': original final value "
+         << ita->second << ", refined " << itb->second;
+      report.mismatches.push_back(os.str());
+    }
+  }
+
+  // (2) Observable write traces, per variable.
+  if (opts.compare_write_traces) {
+    auto ta = per_var(a.observable_writes);
+    auto tb = per_var(b.observable_writes);
+    for (const auto& [var, seq_a] : ta) {
+      auto it = tb.find(var);
+      const std::vector<uint64_t> empty;
+      const std::vector<uint64_t>& seq_b = it == tb.end() ? empty : it->second;
+      if (seq_a != seq_b) {
+        std::ostringstream os;
+        os << "observable '" << var << "': write sequence differs ("
+           << seq_a.size() << " vs " << seq_b.size() << " writes";
+        size_t i = 0;
+        while (i < seq_a.size() && i < seq_b.size() && seq_a[i] == seq_b[i]) ++i;
+        if (i < seq_a.size() || i < seq_b.size()) {
+          os << "; first divergence at index " << i;
+        }
+        os << ")";
+        report.mismatches.push_back(os.str());
+      }
+    }
+    for (const auto& [var, seq_b] : tb) {
+      if (ta.count(var) == 0) {
+        report.mismatches.push_back("observable '" + var +
+                                    "' written only in refined spec");
+      }
+    }
+  }
+
+  report.equivalent = report.mismatches.empty();
+  return report;
+}
+
+}  // namespace specsyn

@@ -1,0 +1,46 @@
+// Functional-equivalence checking between a specification and its refined
+// implementation model.
+//
+// The paper's correctness requirement for every refinement procedure is that
+// the implementation model be "functionally equivalent to the original
+// model". We operationalize that as: simulating both specifications yields
+//   (1) the same final value for every variable of the *original* spec
+//       (each such variable exists, uniquely named, somewhere in the refined
+//       spec — typically inside a generated Memory behavior), and
+//   (2) the same per-variable sequence of committed writes for every
+//       `observable` variable (timestamps are ignored; refinement changes
+//       timing by design).
+// Additionally the refined main control flow must have run to completion
+// (no deadlock introduced by protocol insertion).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace specsyn {
+
+struct EquivalenceOptions {
+  SimConfig config;
+  /// Compare per-variable observable write sequences (not just final values).
+  bool compare_write_traces = true;
+};
+
+struct EquivalenceReport {
+  bool equivalent = false;
+  /// Human-readable mismatch descriptions (empty iff equivalent).
+  std::vector<std::string> mismatches;
+  SimResult original_result;
+  SimResult refined_result;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Simulates both specs and compares observable behaviour. `original` and
+/// `refined` must both be valid.
+[[nodiscard]] EquivalenceReport check_equivalence(
+    const Specification& original, const Specification& refined,
+    const EquivalenceOptions& opts = {});
+
+}  // namespace specsyn

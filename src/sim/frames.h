@@ -1,0 +1,52 @@
+// Internal definitions of the simulator's activation records. Shared by
+// simulator.cpp (kernel) and interp.cpp (statement interpreter); not part of
+// the public API.
+#pragma once
+
+#include <unordered_map>
+
+#include "sim/simulator.h"
+
+namespace specsyn {
+
+/// One activation record of a process's control stack.
+struct Simulator::Frame {
+  enum class Kind : uint8_t {
+    Block,     // executing a statement list (leaf body, branch, loop body…)
+    Seq,       // running a Sequential composite's children via transitions
+    Conc,      // joining a Concurrent composite's forked children
+    Call,      // a procedure activation (locals live here)
+    Behavior,  // entering/leaving one behavior (profiling events fire here)
+  };
+
+  Kind kind;
+
+  // Block
+  const StmtList* stmts = nullptr;
+  size_t idx = 0;
+  const Stmt* owner = nullptr;  // While/Loop statement to re-check, or null
+
+  // Seq / Behavior / Conc
+  const Behavior* behavior = nullptr;
+  bool started = false;
+  size_t child = 0;     // Seq: index of the currently running child
+  int remaining = 0;    // Conc: children still running
+
+  // Call
+  const Procedure* proc = nullptr;
+  std::unordered_map<std::string, uint64_t> locals;       // params + locals
+  std::unordered_map<std::string, Type> local_types;
+  std::vector<std::pair<std::string, std::string>> out_binds;  // param -> dest
+};
+
+struct Simulator::Process {
+  uint64_t id = 0;
+  enum class Status : uint8_t { Ready, Blocked, Done } status = Status::Ready;
+  std::vector<Frame> stack;
+  const Expr* wait_cond = nullptr;  // set while blocked on a `wait`
+  uint64_t wait_epoch = 0;          // invalidates stale waiter-list entries
+  Process* parent = nullptr;        // forking process (Conc), or null
+  std::vector<const Behavior*> behavior_stack;  // innermost = attribution
+};
+
+}  // namespace specsyn

@@ -1,0 +1,373 @@
+// Statement interpreter: executes one scheduling step of one process.
+// Kernel and event bookkeeping live in simulator.cpp.
+#include "sim/frames.h"
+#include "sim/value.h"
+
+namespace specsyn {
+
+namespace {
+const std::string kNoBehavior = "<none>";
+}
+
+const std::string& Simulator::current_behavior(const Process& p) const {
+  if (p.behavior_stack.empty()) return kNoBehavior;
+  return p.behavior_stack.back()->name;
+}
+
+uint64_t Simulator::read_name(const std::string& name, Process& p) {
+  // Innermost procedure activation (if any) shadows the global tables.
+  for (auto it = p.stack.rbegin(); it != p.stack.rend(); ++it) {
+    if (it->kind == Frame::Kind::Call) {
+      auto hit = it->locals.find(name);
+      if (hit != it->locals.end()) return hit->second;
+      break;  // only the innermost call scope is visible
+    }
+  }
+  const size_t vi = vars_.find(name);
+  if (vi != SIZE_MAX) {
+    for (SimObserver* o : observers_) {
+      o->on_var_read(name, current_behavior(p), now_);
+    }
+    return vars_.get(vi);
+  }
+  const size_t si = signals_.find(name);
+  if (si != SIZE_MAX) return signals_.get(si);
+  throw SpecError("simulator: unresolved name '" + name + "'");
+}
+
+void Simulator::write_var(const std::string& name, uint64_t value, Process& p) {
+  for (auto it = p.stack.rbegin(); it != p.stack.rend(); ++it) {
+    if (it->kind == Frame::Kind::Call) {
+      auto hit = it->locals.find(name);
+      if (hit != it->locals.end()) {
+        hit->second = it->local_types.at(name).wrap(value);
+        return;
+      }
+      break;
+    }
+  }
+  const size_t vi = vars_.find(name);
+  if (vi == SIZE_MAX) {
+    throw SpecError("simulator: assignment to unresolved name '" + name + "'");
+  }
+  vars_.set(vi, value);
+  for (SimObserver* o : observers_) {
+    o->on_var_write(name, current_behavior(p), now_, vars_.get(vi));
+  }
+  if (observable_idx_.count(vi) != 0) {
+    observable_writes_.push_back({name, vars_.get(vi), now_});
+  }
+}
+
+uint64_t Simulator::eval(const Expr& e, Process& p) {
+  switch (e.kind) {
+    case Expr::Kind::IntLit:
+      return e.int_value;
+    case Expr::Kind::NameRef:
+      return read_name(e.name, p);
+    case Expr::Kind::Unary:
+      return apply_unop(e.un_op, eval(*e.args[0], p));
+    case Expr::Kind::Binary:
+      return apply_binop(e.bin_op, eval(*e.args[0], p), eval(*e.args[1], p));
+  }
+  return 0;
+}
+
+void Simulator::block_on(Process& p, const Expr& cond) {
+  p.status = Process::Status::Blocked;
+  p.wait_cond = &cond;
+  ++p.wait_epoch;
+  std::vector<std::string> names;
+  cond.collect_names(names);
+  for (const auto& n : names) {
+    const size_t si = signals_.find(n);
+    if (si != SIZE_MAX) waiters_[si].push_back(&p);
+  }
+}
+
+void Simulator::enter_behavior(const Behavior& b, Process& p) {
+  Frame f;
+  f.kind = Frame::Kind::Behavior;
+  f.behavior = &b;
+  p.stack.push_back(std::move(f));
+}
+
+// Pops the top frame and hands control back to the caller's bookkeeping.
+void Simulator::leave_frame(Process& p) { p.stack.pop_back(); }
+
+// The completing child of a Seq frame selects the next child via the
+// composite's transition arcs; with no matching arc, control falls through
+// to the next child in declaration order (completing after the last).
+void Simulator::seq_advance(Process& p) {
+  Frame& f = p.stack.back();
+  const Behavior& b = *f.behavior;
+  const std::string& done_child = b.children[f.child]->name;
+
+  bool matched = false;
+  size_t next = SIZE_MAX;  // SIZE_MAX == complete the composite
+  for (const Transition& t : b.transitions) {
+    if (t.from != done_child) continue;
+    const bool take = !t.guard || eval(*t.guard, p) != 0;
+    if (take) {
+      matched = true;
+      next = t.completes() ? SIZE_MAX : b.child_index(t.to);
+      break;
+    }
+  }
+  if (!matched) {
+    next = (f.child + 1 < b.children.size()) ? f.child + 1 : SIZE_MAX;
+  }
+
+  if (next == SIZE_MAX) {
+    leave_frame(p);  // Seq done; Behavior frame below completes next step
+  } else {
+    f.child = next;
+    enter_behavior(*b.children[next], p);
+  }
+  enqueue(p, now_ + cfg_.stmt_cost);
+}
+
+void Simulator::step(Process& p) {
+  if (p.stack.empty()) {
+    throw SpecError("internal: stepping a process with an empty stack");
+  }
+  Frame& f = p.stack.back();
+  switch (f.kind) {
+    case Frame::Kind::Behavior: {
+      const Behavior& b = *f.behavior;
+      if (!f.started) {
+        f.started = true;
+        p.behavior_stack.push_back(&b);
+        for (SimObserver* o : observers_) o->on_behavior_start(b.name, now_);
+        switch (b.kind) {
+          case BehaviorKind::Leaf: {
+            Frame body;
+            body.kind = Frame::Kind::Block;
+            body.stmts = &b.body;
+            p.stack.push_back(std::move(body));
+            enqueue(p, now_ + cfg_.stmt_cost);
+            break;
+          }
+          case BehaviorKind::Sequential: {
+            Frame seq;
+            seq.kind = Frame::Kind::Seq;
+            seq.behavior = &b;
+            p.stack.push_back(std::move(seq));
+            enqueue(p, now_ + cfg_.stmt_cost);
+            break;
+          }
+          case BehaviorKind::Concurrent: {
+            Frame join;
+            join.kind = Frame::Kind::Conc;
+            join.behavior = &b;
+            join.remaining = static_cast<int>(b.children.size());
+            p.stack.push_back(std::move(join));
+            p.status = Process::Status::Blocked;  // until children join
+            for (const auto& c : b.children) {
+              Process& cp = spawn(*c, &p);
+              enqueue(cp, now_ + cfg_.stmt_cost);
+            }
+            break;
+          }
+        }
+      } else {
+        // Body / children finished: this behavior completes.
+        for (SimObserver* o : observers_) o->on_behavior_end(b.name, now_);
+        ++behavior_completions_[b.name];
+        p.behavior_stack.pop_back();
+        leave_frame(p);
+        if (p.stack.empty()) {
+          finish_process(p, now_);
+        } else if (p.stack.back().kind == Frame::Kind::Seq) {
+          // Let the sequential parent pick the successor immediately so the
+          // transition decision is attributed to the composite.
+          seq_advance(p);
+        } else {
+          enqueue(p, now_ + cfg_.stmt_cost);
+        }
+      }
+      break;
+    }
+
+    case Frame::Kind::Seq: {
+      if (!f.started) {
+        f.started = true;
+        f.child = 0;
+        enter_behavior(*f.behavior->children[0], p);
+        enqueue(p, now_ + cfg_.stmt_cost);
+      } else {
+        // Reached only if a child completed without the Behavior frame
+        // dispatching (defensive; normal path goes through seq_advance).
+        seq_advance(p);
+      }
+      break;
+    }
+
+    case Frame::Kind::Conc: {
+      // All children joined (finish_process re-enqueued us).
+      if (f.remaining != 0) {
+        throw SpecError("internal: conc frame stepped with children running");
+      }
+      leave_frame(p);
+      enqueue(p, now_ + cfg_.stmt_cost);
+      break;
+    }
+
+    case Frame::Kind::Block: {
+      if (f.idx < f.stmts->size()) {
+        exec_stmt(*(*f.stmts)[f.idx], p);
+      } else if (f.owner != nullptr && f.owner->kind == Stmt::Kind::While) {
+        if (eval(*f.owner->expr, p) != 0) {
+          f.idx = 0;
+        } else {
+          leave_frame(p);
+        }
+        enqueue(p, now_ + cfg_.stmt_cost);
+      } else if (f.owner != nullptr && f.owner->kind == Stmt::Kind::Loop) {
+        f.idx = 0;
+        enqueue(p, now_ + cfg_.stmt_cost);
+      } else {
+        leave_frame(p);
+        enqueue(p, now_ + cfg_.stmt_cost);
+      }
+      break;
+    }
+
+    case Frame::Kind::Call: {
+      // Procedure body finished: copy out-params into the caller's scope.
+      Frame call = std::move(f);
+      leave_frame(p);
+      for (const auto& [param, dest] : call.out_binds) {
+        write_var(dest, call.locals.at(param), p);
+      }
+      enqueue(p, now_ + cfg_.stmt_cost);
+      break;
+    }
+  }
+}
+
+void Simulator::exec_stmt(const Stmt& s, Process& p) {
+  Frame& f = p.stack.back();
+  switch (s.kind) {
+    case Stmt::Kind::Assign: {
+      const uint64_t v = eval(*s.expr, p);
+      write_var(s.target, v, p);
+      ++f.idx;
+      enqueue(p, now_ + cfg_.stmt_cost);
+      break;
+    }
+    case Stmt::Kind::SignalAssign: {
+      const uint64_t v = eval(*s.expr, p);
+      const size_t si = signals_.find(s.target);
+      if (si == SIZE_MAX) {
+        throw SpecError("simulator: '<=' to unknown signal '" + s.target + "'");
+      }
+      schedule_signal(si, v, now_ + cfg_.signal_delay);
+      ++f.idx;
+      enqueue(p, now_ + cfg_.stmt_cost);
+      break;
+    }
+    case Stmt::Kind::If: {
+      const bool cond = eval(*s.expr, p) != 0;
+      ++f.idx;
+      const StmtList& blk = cond ? s.then_block : s.else_block;
+      if (!blk.empty()) {
+        Frame body;
+        body.kind = Frame::Kind::Block;
+        body.stmts = &blk;
+        p.stack.push_back(std::move(body));
+      }
+      enqueue(p, now_ + cfg_.stmt_cost);
+      break;
+    }
+    case Stmt::Kind::While: {
+      ++f.idx;
+      if (eval(*s.expr, p) != 0) {
+        Frame body;
+        body.kind = Frame::Kind::Block;
+        body.stmts = &s.then_block;
+        body.owner = &s;
+        p.stack.push_back(std::move(body));
+      }
+      enqueue(p, now_ + cfg_.stmt_cost);
+      break;
+    }
+    case Stmt::Kind::Loop: {
+      ++f.idx;
+      Frame body;
+      body.kind = Frame::Kind::Block;
+      body.stmts = &s.then_block;
+      body.owner = &s;
+      p.stack.push_back(std::move(body));
+      enqueue(p, now_ + cfg_.stmt_cost);
+      break;
+    }
+    case Stmt::Kind::Wait: {
+      if (eval(*s.expr, p) != 0) {
+        ++f.idx;
+        enqueue(p, now_ + cfg_.stmt_cost);
+      } else {
+        block_on(p, *s.expr);
+      }
+      break;
+    }
+    case Stmt::Kind::Delay: {
+      ++f.idx;
+      enqueue(p, now_ + std::max<uint64_t>(s.delay, 1));
+      break;
+    }
+    case Stmt::Kind::Call: {
+      const Procedure* proc = spec_.find_procedure(s.callee);
+      if (proc == nullptr) {
+        throw SpecError("simulator: call to unknown procedure '" + s.callee +
+                        "'");
+      }
+      ++f.idx;
+      Frame call;
+      call.kind = Frame::Kind::Call;
+      call.proc = proc;
+      for (size_t i = 0; i < proc->params.size(); ++i) {
+        const Param& prm = proc->params[i];
+        call.local_types.emplace(prm.name, prm.type);
+        if (prm.is_out) {
+          call.locals.emplace(prm.name, 0);
+          call.out_binds.emplace_back(prm.name, s.args[i]->name);
+        } else {
+          call.locals.emplace(prm.name, prm.type.wrap(eval(*s.args[i], p)));
+        }
+      }
+      for (const auto& [name, type] : proc->locals) {
+        call.locals.emplace(name, 0);
+        call.local_types.emplace(name, type);
+      }
+      p.stack.push_back(std::move(call));
+      Frame body;
+      body.kind = Frame::Kind::Block;
+      body.stmts = &proc->body;
+      p.stack.push_back(std::move(body));
+      enqueue(p, now_ + cfg_.stmt_cost);
+      break;
+    }
+    case Stmt::Kind::Break: {
+      // Unwind block frames up to and including the innermost loop block.
+      while (!p.stack.empty()) {
+        Frame& top = p.stack.back();
+        if (top.kind != Frame::Kind::Block) {
+          throw SpecError("simulator: break escaped its body");
+        }
+        const bool is_loop = top.owner != nullptr;
+        p.stack.pop_back();
+        if (is_loop) break;
+      }
+      enqueue(p, now_ + cfg_.stmt_cost);
+      break;
+    }
+    case Stmt::Kind::Nop: {
+      ++f.idx;
+      enqueue(p, now_ + cfg_.stmt_cost);
+      break;
+    }
+  }
+}
+
+}  // namespace specsyn

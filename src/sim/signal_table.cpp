@@ -1,0 +1,39 @@
+#include "sim/signal_table.h"
+
+namespace specsyn {
+
+size_t VarTable::add(const std::string& name, Type type, uint64_t init) {
+  if (contains(name)) throw SpecError("duplicate variable '" + name + "'");
+  const size_t idx = slots_.size();
+  slots_.push_back({name, type, type.wrap(init), type.wrap(init)});
+  index_.emplace(name, idx);
+  return idx;
+}
+
+size_t VarTable::find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? SIZE_MAX : it->second;
+}
+
+void VarTable::reset() {
+  for (auto& s : slots_) s.value = s.init;
+}
+
+size_t SignalTable::add(const std::string& name, Type type, uint64_t init) {
+  if (contains(name)) throw SpecError("duplicate signal '" + name + "'");
+  const size_t idx = slots_.size();
+  slots_.push_back({name, type, type.wrap(init), type.wrap(init)});
+  index_.emplace(name, idx);
+  return idx;
+}
+
+size_t SignalTable::find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? SIZE_MAX : it->second;
+}
+
+void SignalTable::reset() {
+  for (auto& s : slots_) s.value = s.init;
+}
+
+}  // namespace specsyn

@@ -1,0 +1,92 @@
+// Flat storage for the specification-wide variable and signal state.
+//
+// Names are globally unique (enforced by validate()), so both tables are
+// simple name -> slot maps with dense index access for the hot paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spec/type.h"
+#include "support/diagnostics.h"
+
+namespace specsyn {
+
+/// Storage for spec variables. Values wrap to the declared width on write.
+class VarTable {
+ public:
+  /// Returns the slot index for a new variable. Duplicate names throw.
+  size_t add(const std::string& name, Type type, uint64_t init);
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return index_.count(name) != 0;
+  }
+  /// Index of `name`, or SIZE_MAX.
+  [[nodiscard]] size_t find(const std::string& name) const;
+
+  [[nodiscard]] uint64_t get(size_t idx) const { return slots_[idx].value; }
+  void set(size_t idx, uint64_t v) {
+    slots_[idx].value = slots_[idx].type.wrap(v);
+  }
+  void reset();  // restore all initial values
+
+  [[nodiscard]] const std::string& name_of(size_t idx) const {
+    return slots_[idx].name;
+  }
+  [[nodiscard]] Type type_of(size_t idx) const { return slots_[idx].type; }
+  [[nodiscard]] size_t size() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::string name;
+    Type type;
+    uint64_t init = 0;
+    uint64_t value = 0;
+  };
+  std::vector<Slot> slots_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// Storage for signals, with scheduled (`<=`) updates committed by the
+/// kernel. `commit` returns whether the visible value actually changed, which
+/// drives the wakeup of processes blocked on wait conditions.
+class SignalTable {
+ public:
+  size_t add(const std::string& name, Type type, uint64_t init);
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return index_.count(name) != 0;
+  }
+  [[nodiscard]] size_t find(const std::string& name) const;
+
+  [[nodiscard]] uint64_t get(size_t idx) const { return slots_[idx].value; }
+
+  /// Commits a scheduled update; returns true if the value changed.
+  bool commit(size_t idx, uint64_t v) {
+    const uint64_t wrapped = slots_[idx].type.wrap(v);
+    if (slots_[idx].value == wrapped) return false;
+    slots_[idx].value = wrapped;
+    return true;
+  }
+  void reset();
+
+  [[nodiscard]] const std::string& name_of(size_t idx) const {
+    return slots_[idx].name;
+  }
+  [[nodiscard]] Type type_of(size_t idx) const { return slots_[idx].type; }
+  [[nodiscard]] size_t size() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::string name;
+    Type type;
+    uint64_t init = 0;
+    uint64_t value = 0;
+  };
+  std::vector<Slot> slots_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace specsyn

@@ -1,0 +1,153 @@
+// Simulator kernel: process/event bookkeeping and the main scheduling loop.
+// The per-statement interpreter lives in interp.cpp.
+#include "sim/simulator.h"
+
+#include "printer/printer.h"
+#include "sim/frames.h"
+
+namespace specsyn {
+
+Simulator::Simulator(const Specification& spec, SimConfig cfg)
+    : spec_(spec), cfg_(cfg) {
+  validate_or_throw(spec_);
+  build_tables();
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::add_observer(SimObserver* obs) { observers_.push_back(obs); }
+
+void Simulator::build_tables() {
+  for (const VarDecl* v : spec_.all_vars()) {
+    const size_t idx = vars_.add(v->name, v->type, v->init);
+    if (v->is_observable) observable_idx_.insert(idx);
+  }
+  for (const SignalDecl* s : spec_.all_signals()) {
+    signals_.add(s->name, s->type, s->init);
+  }
+}
+
+Simulator::Process& Simulator::spawn(const Behavior& b, Process* parent) {
+  auto p = std::make_unique<Process>();
+  p->id = processes_.size();
+  p->parent = parent;
+  Frame f;
+  f.kind = Frame::Kind::Behavior;
+  f.behavior = &b;
+  p->stack.push_back(std::move(f));
+  processes_.push_back(std::move(p));
+  return *processes_.back();
+}
+
+void Simulator::enqueue(Process& p, uint64_t time) {
+  p.status = Process::Status::Ready;
+  run_q_.push({time, seq_counter_++, &p});
+}
+
+void Simulator::schedule_signal(size_t idx, uint64_t value, uint64_t time) {
+  sig_q_.push({time, seq_counter_++, idx, value});
+}
+
+void Simulator::wake_sensitive(size_t signal_idx, uint64_t time) {
+  auto it = waiters_.find(signal_idx);
+  if (it == waiters_.end()) return;
+  // Every current entry is either woken now or stale; either way the list
+  // empties (woken processes re-register if they block again).
+  std::vector<Process*> entries = std::move(it->second);
+  it->second.clear();
+  for (Process* p : entries) {
+    if (p->status == Process::Status::Blocked && p->wait_cond != nullptr) {
+      p->wait_cond = nullptr;  // will re-block (and re-register) if still false
+      ++p->wait_epoch;
+      enqueue(*p, time);
+    }
+  }
+}
+
+void Simulator::finish_process(Process& p, uint64_t time) {
+  p.status = Process::Status::Done;
+  if (p.parent != nullptr) {
+    // The parent is blocked in its Conc frame (always the top of its stack
+    // while children run).
+    Frame& join = p.parent->stack.back();
+    if (join.kind != Frame::Kind::Conc || join.remaining <= 0) {
+      throw SpecError("internal: concurrent join bookkeeping corrupted");
+    }
+    if (--join.remaining == 0) enqueue(*p.parent, time);
+  }
+}
+
+SimResult Simulator::run() {
+  if (ran_) throw SpecError("Simulator::run may only be called once");
+  ran_ = true;
+
+  SimResult result;
+  if (spec_.top) {
+    root_ = &spawn(*spec_.top, nullptr);
+    enqueue(*root_, 0);
+  }
+
+  while (!run_q_.empty() || !sig_q_.empty()) {
+    uint64_t t = UINT64_MAX;
+    if (!run_q_.empty()) t = run_q_.top().time;
+    if (!sig_q_.empty()) t = std::min(t, sig_q_.top().time);
+    now_ = t;
+    if (now_ > cfg_.max_cycles) {
+      result.status = SimResult::Status::MaxCycles;
+      break;
+    }
+
+    // Commit signal updates scheduled for this instant first, in issue order,
+    // so that woken processes see a consistent snapshot when they step at t.
+    while (!sig_q_.empty() && sig_q_.top().time == now_) {
+      const SignalEvent ev = sig_q_.top();
+      sig_q_.pop();
+      if (signals_.commit(ev.signal, ev.value)) {
+        for (SimObserver* o : observers_) {
+          o->on_signal_change(signals_.name_of(ev.signal), now_,
+                              signals_.get(ev.signal));
+        }
+        wake_sensitive(ev.signal, now_);
+      }
+    }
+
+    // Then run every process step scheduled at exactly t (steps may enqueue
+    // further work at t, which this loop also drains).
+    while (!run_q_.empty() && run_q_.top().time == now_) {
+      Process* p = run_q_.top().proc;
+      run_q_.pop();
+      if (p->status != Process::Status::Ready) {
+        throw SpecError("internal: non-ready process in run queue");
+      }
+      step(*p);
+      ++steps_;
+      if (steps_ > cfg_.max_cycles) break;
+    }
+    if (steps_ > cfg_.max_cycles) {
+      result.status = SimResult::Status::MaxCycles;
+      break;
+    }
+  }
+
+  result.end_time = now_;
+  result.steps = steps_;
+  result.root_completed =
+      root_ != nullptr && root_->status == Process::Status::Done;
+  for (const auto& p : processes_) {
+    if (p->status != Process::Status::Blocked) continue;
+    BlockedProcess info;
+    info.process_id = p->id;
+    info.behavior =
+        p->behavior_stack.empty() ? "<none>" : p->behavior_stack.back()->name;
+    info.waiting_on = p->wait_cond != nullptr ? print(*p->wait_cond) : "<join>";
+    result.blocked.push_back(std::move(info));
+  }
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    result.final_vars.emplace(vars_.name_of(i), vars_.get(i));
+  }
+  result.observable_writes = observable_writes_;
+  result.behavior_completions = behavior_completions_;
+  return result;
+}
+
+}  // namespace specsyn

@@ -1,0 +1,206 @@
+// Discrete-event simulator for SpecLang specifications.
+//
+// Semantics:
+//   * Every process executes one statement per scheduling step; a statement
+//     costs `SimConfig::stmt_cost` cycles (default 1), `delay N` costs N.
+//   * Signal assignments (`<=`) are scheduled and become visible
+//     `signal_delay` cycles later (default 1) — never within the statement
+//     that issued them. Commits at time T precede process steps at T, so
+//     with the default costs the immediately following statement already
+//     observes the new value.
+//   * `wait c` blocks until c evaluates nonzero; blocked processes are
+//     re-evaluated whenever a signal named in c changes value.
+//   * A Sequential composite runs children per its transition arcs; a
+//     Concurrent composite forks one process per child and joins.
+//   * Scheduling is deterministic: (time, process id) ordering; signal
+//     updates at time T commit before any process step at T, in issue order.
+//
+// The simulator ends when the event queue drains (quiescent — the normal end
+// state of refined specifications, whose memory/arbiter/interface server
+// loops block forever on waits once the main control flow finishes), when the
+// root process completes with no other runnable process, or at
+// `max_cycles` (reported as MaxCycles; typically a deadlock or a livelock in
+// the input).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/signal_table.h"
+#include "spec/specification.h"
+
+namespace specsyn {
+
+struct SimConfig {
+  /// Cycles consumed by one executed statement.
+  uint64_t stmt_cost = 1;
+  /// Cycles until a scheduled signal assignment becomes visible.
+  uint64_t signal_delay = 1;
+  /// Hard stop; a run reaching it reports Status::MaxCycles.
+  uint64_t max_cycles = 50'000'000;
+  /// Clock frequency used when converting cycles to seconds in reports.
+  double clock_hz = 100e6;
+};
+
+/// Observation callbacks. All strings are the spec-unique object names.
+/// `behavior` is the innermost active behavior of the acting process
+/// (transition-guard evaluation reports the composite itself).
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  virtual void on_var_read(const std::string& var, const std::string& behavior,
+                           uint64_t time) {
+    (void)var; (void)behavior; (void)time;
+  }
+  virtual void on_var_write(const std::string& var, const std::string& behavior,
+                            uint64_t time, uint64_t value) {
+    (void)var; (void)behavior; (void)time; (void)value;
+  }
+  virtual void on_behavior_start(const std::string& behavior, uint64_t time) {
+    (void)behavior; (void)time;
+  }
+  virtual void on_behavior_end(const std::string& behavior, uint64_t time) {
+    (void)behavior; (void)time;
+  }
+  virtual void on_signal_change(const std::string& signal, uint64_t time,
+                                uint64_t value) {
+    (void)signal; (void)time; (void)value;
+  }
+};
+
+/// One committed write to an `observable` variable.
+struct WriteEvent {
+  std::string var;
+  uint64_t value = 0;
+  uint64_t time = 0;
+
+  friend bool operator==(const WriteEvent&, const WriteEvent&) = default;
+};
+
+/// Diagnostic snapshot of a process that was still blocked when the
+/// simulation ended — the raw material for deadlock analysis of refined
+/// specifications (e.g. a mis-generated handshake).
+struct BlockedProcess {
+  uint64_t process_id = 0;
+  /// Innermost behavior the process was executing.
+  std::string behavior;
+  /// The wait condition it was blocked on (printed), or "<join>" when
+  /// waiting for concurrent children.
+  std::string waiting_on;
+};
+
+struct SimResult {
+  enum class Status {
+    Quiescent,  // event queue drained; no runnable process remains
+    MaxCycles,  // hit SimConfig::max_cycles
+  };
+  Status status = Status::Quiescent;
+  uint64_t end_time = 0;
+  uint64_t steps = 0;
+  /// True if the root process (the top behavior) ran to completion.
+  bool root_completed = false;
+  /// Processes still blocked at the end (never-completing server loops of a
+  /// refined spec are expected here; a blocked *main flow* is a deadlock).
+  std::vector<BlockedProcess> blocked;
+  /// Final value of every spec variable (by unique name).
+  std::map<std::string, uint64_t> final_vars;
+  /// Chronological writes to observable variables.
+  std::vector<WriteEvent> observable_writes;
+  /// Completion count per behavior name.
+  std::map<std::string, uint64_t> behavior_completions;
+};
+
+class Simulator {
+ public:
+  /// `spec` must outlive the simulator and be valid (validate_or_throw).
+  explicit Simulator(const Specification& spec, SimConfig cfg = {});
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  /// Observers are borrowed; they must outlive run().
+  void add_observer(SimObserver* obs);
+
+  /// Runs to quiescence (or max_cycles). May be called once per Simulator.
+  SimResult run();
+
+  [[nodiscard]] const SimConfig& config() const { return cfg_; }
+
+ private:
+  struct Process;
+  struct Frame;
+
+  // kernel (simulator.cpp)
+  void build_tables();
+  Process& spawn(const Behavior& b, Process* parent);
+  void enqueue(Process& p, uint64_t time);
+  void schedule_signal(size_t idx, uint64_t value, uint64_t time);
+  void wake_sensitive(size_t signal_idx, uint64_t time);
+  void finish_process(Process& p, uint64_t time);
+
+  // interpreter (interp.cpp)
+  void step(Process& p);
+  uint64_t eval(const Expr& e, Process& p);
+  uint64_t read_name(const std::string& name, Process& p);
+  void write_var(const std::string& name, uint64_t value, Process& p);
+  void exec_stmt(const Stmt& s, Process& p);
+  void enter_behavior(const Behavior& b, Process& p);
+  void leave_frame(Process& p);
+  void seq_advance(Process& p);
+  void block_on(Process& p, const Expr& cond);
+
+  const std::string& current_behavior(const Process& p) const;
+
+  const Specification& spec_;
+  SimConfig cfg_;
+  std::vector<SimObserver*> observers_;
+
+  VarTable vars_;
+  SignalTable signals_;
+
+  std::vector<std::unique_ptr<Process>> processes_;
+
+  struct RunEvent {
+    uint64_t time;
+    uint64_t seq;
+    Process* proc;
+    bool operator>(const RunEvent& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+  struct SignalEvent {
+    uint64_t time;
+    uint64_t seq;
+    size_t signal;
+    uint64_t value;
+    bool operator>(const SignalEvent& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+  std::priority_queue<RunEvent, std::vector<RunEvent>, std::greater<>> run_q_;
+  std::priority_queue<SignalEvent, std::vector<SignalEvent>, std::greater<>>
+      sig_q_;
+  uint64_t seq_counter_ = 0;
+  uint64_t now_ = 0;
+  uint64_t steps_ = 0;
+  bool ran_ = false;
+
+  // blocked-on-wait bookkeeping: signal index -> waiting processes
+  std::unordered_map<size_t, std::vector<Process*>> waiters_;
+
+  // variable slots declared `observable` (their writes are traced)
+  std::unordered_set<size_t> observable_idx_;
+
+  std::vector<WriteEvent> observable_writes_;
+  std::map<std::string, uint64_t> behavior_completions_;
+  Process* root_ = nullptr;
+};
+
+}  // namespace specsyn

@@ -1,0 +1,97 @@
+#include "spec/behavior.h"
+
+namespace specsyn {
+
+const char* to_string(BehaviorKind k) {
+  switch (k) {
+    case BehaviorKind::Leaf: return "leaf";
+    case BehaviorKind::Sequential: return "seq";
+    case BehaviorKind::Concurrent: return "conc";
+  }
+  return "?";
+}
+
+Transition Transition::clone() const {
+  Transition t;
+  t.from = from;
+  t.to = to;
+  if (guard) t.guard = guard->clone();
+  return t;
+}
+
+BehaviorPtr Behavior::make_leaf(std::string name, StmtList body) {
+  auto b = std::make_unique<Behavior>();
+  b->name = std::move(name);
+  b->kind = BehaviorKind::Leaf;
+  b->body = std::move(body);
+  return b;
+}
+
+BehaviorPtr Behavior::make_seq(std::string name, std::vector<BehaviorPtr> children,
+                               std::vector<Transition> transitions) {
+  auto b = std::make_unique<Behavior>();
+  b->name = std::move(name);
+  b->kind = BehaviorKind::Sequential;
+  b->children = std::move(children);
+  b->transitions = std::move(transitions);
+  return b;
+}
+
+BehaviorPtr Behavior::make_conc(std::string name, std::vector<BehaviorPtr> children) {
+  auto b = std::make_unique<Behavior>();
+  b->name = std::move(name);
+  b->kind = BehaviorKind::Concurrent;
+  b->children = std::move(children);
+  return b;
+}
+
+BehaviorPtr Behavior::clone() const {
+  auto b = std::make_unique<Behavior>();
+  b->name = name;
+  b->kind = kind;
+  b->vars = vars;
+  b->signals = signals;
+  b->body = Stmt::clone_list(body);
+  b->children.reserve(children.size());
+  for (const auto& c : children) b->children.push_back(c->clone());
+  b->transitions.reserve(transitions.size());
+  for (const auto& t : transitions) b->transitions.push_back(t.clone());
+  b->loc = loc;
+  return b;
+}
+
+Behavior* Behavior::find_child(const std::string& n) const {
+  for (const auto& c : children) {
+    if (c->name == n) return c.get();
+  }
+  return nullptr;
+}
+
+size_t Behavior::child_index(const std::string& n) const {
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (children[i]->name == n) return i;
+  }
+  return children.size();
+}
+
+std::vector<Behavior*> Behavior::all_behaviors() {
+  std::vector<Behavior*> out;
+  for_each([&](Behavior& b) { out.push_back(&b); });
+  return out;
+}
+
+std::vector<const Behavior*> Behavior::all_behaviors() const {
+  std::vector<const Behavior*> out;
+  for_each([&](const Behavior& b) { out.push_back(&b); });
+  return out;
+}
+
+size_t Behavior::stmt_count() const {
+  size_t n = 0;
+  for_each([&](const Behavior& b) {
+    for (const auto& s : b.body) n += s->node_count();
+  });
+  return n;
+}
+
+}  // namespace specsyn

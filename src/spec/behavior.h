@@ -1,0 +1,113 @@
+// Behaviors: the hierarchy nodes of a SpecLang specification.
+//
+// Following SpecCharts, a behavior is either a *leaf* (a block of sequential
+// statements) or a *composite* with child behaviors composed sequentially or
+// concurrently. A sequential composite carries guarded completion arcs
+// ("transitions", SpecCharts' transition-on-completion arcs): when a child
+// completes, its outgoing arcs are evaluated in order and the first arc whose
+// guard holds selects the next child (or completes the composite). When no
+// arc matches, control falls through to the next child in declaration order.
+//
+// Behaviors may declare variables and signals; a declaration is visible in
+// the declaring behavior's entire subtree (lexical scoping). Specification-
+// level declarations are visible everywhere.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spec/stmt.h"
+
+namespace specsyn {
+
+struct Behavior;
+using BehaviorPtr = std::unique_ptr<Behavior>;
+
+/// A variable declaration. `is_observable` marks variables whose final value
+/// (and write sequence) constitute the observable behaviour of the spec; the
+/// equivalence checker compares exactly these across refinements.
+struct VarDecl {
+  std::string name;
+  Type type = Type::u32();
+  uint64_t init = 0;
+  bool is_observable = false;
+};
+
+/// A signal declaration. Signals carry scheduled (`<=`) updates and are what
+/// `wait until` conditions are sensitive to.
+struct SignalDecl {
+  std::string name;
+  Type type = Type::bit();
+  uint64_t init = 0;
+};
+
+/// A transition-on-completion arc of a sequential composite.
+/// `from` names the completing child; `to` names the successor child, or is
+/// the empty string to complete the whole composite (spelled `complete` in
+/// SpecLang text). A null guard means "always".
+struct Transition {
+  std::string from;
+  ExprPtr guard;  // may be null (unconditional)
+  std::string to; // "" == complete the composite
+
+  [[nodiscard]] Transition clone() const;
+  [[nodiscard]] bool completes() const { return to.empty(); }
+};
+
+enum class BehaviorKind : uint8_t { Leaf, Sequential, Concurrent };
+
+[[nodiscard]] const char* to_string(BehaviorKind k);
+
+struct Behavior {
+  std::string name;
+  BehaviorKind kind = BehaviorKind::Leaf;
+
+  std::vector<VarDecl> vars;
+  std::vector<SignalDecl> signals;
+
+  StmtList body;                       // Leaf only
+  std::vector<BehaviorPtr> children;   // composites only
+  std::vector<Transition> transitions; // Sequential only
+
+  SourceLoc loc;
+
+  // -- factories ------------------------------------------------------------
+  [[nodiscard]] static BehaviorPtr make_leaf(std::string name, StmtList body);
+  [[nodiscard]] static BehaviorPtr make_seq(std::string name,
+                                            std::vector<BehaviorPtr> children,
+                                            std::vector<Transition> transitions = {});
+  [[nodiscard]] static BehaviorPtr make_conc(std::string name,
+                                             std::vector<BehaviorPtr> children);
+
+  [[nodiscard]] bool is_leaf() const { return kind == BehaviorKind::Leaf; }
+
+  [[nodiscard]] BehaviorPtr clone() const;
+
+  /// Child with the given name, or nullptr.
+  [[nodiscard]] Behavior* find_child(const std::string& name) const;
+
+  /// Index of the child with the given name, or children.size().
+  [[nodiscard]] size_t child_index(const std::string& name) const;
+
+  /// Pre-order visit of this behavior and all descendants.
+  template <typename F>
+  void for_each(F&& f) {
+    f(*this);
+    for (auto& c : children) c->for_each(f);
+  }
+  template <typename F>
+  void for_each(F&& f) const {
+    f(static_cast<const Behavior&>(*this));
+    for (const auto& c : children) c->for_each(f);
+  }
+
+  /// Behaviors in this subtree (including this), pre-order.
+  [[nodiscard]] std::vector<Behavior*> all_behaviors();
+  [[nodiscard]] std::vector<const Behavior*> all_behaviors() const;
+
+  /// Total number of statement nodes in this subtree.
+  [[nodiscard]] size_t stmt_count() const;
+};
+
+}  // namespace specsyn

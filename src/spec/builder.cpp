@@ -1,0 +1,38 @@
+#include "spec/builder.h"
+
+namespace specsyn::build {
+
+VarDecl var(std::string name, Type t, uint64_t init, bool observable) {
+  VarDecl v;
+  v.name = std::move(name);
+  v.type = t;
+  v.init = t.wrap(init);
+  v.is_observable = observable;
+  return v;
+}
+
+SignalDecl signal(std::string name, Type t, uint64_t init) {
+  SignalDecl s;
+  s.name = std::move(name);
+  s.type = t;
+  s.init = t.wrap(init);
+  return s;
+}
+
+Param in_param(std::string name, Type t) {
+  Param p;
+  p.name = std::move(name);
+  p.type = t;
+  p.is_out = false;
+  return p;
+}
+
+Param out_param(std::string name, Type t) {
+  Param p;
+  p.name = std::move(name);
+  p.type = t;
+  p.is_out = true;
+  return p;
+}
+
+}  // namespace specsyn::build

@@ -1,0 +1,144 @@
+// Fluent construction helpers for building specifications from C++.
+//
+// The workloads, tests and the refiner itself all assemble IR; these helpers
+// keep that code close to the SpecLang surface syntax:
+//
+//   auto b = leaf("B", block(assign("x", add(ref("x"), lit(5)))));
+//
+// Everything here is by-value / move-only; no global state.
+#pragma once
+
+#include <utility>
+
+#include "spec/specification.h"
+
+namespace specsyn::build {
+
+// -- statement factories (re-exported with terse names) ----------------------
+[[nodiscard]] inline StmtPtr assign(std::string t, ExprPtr v) {
+  return Stmt::assign(std::move(t), std::move(v));
+}
+[[nodiscard]] inline StmtPtr sassign(std::string t, ExprPtr v) {
+  return Stmt::signal_assign(std::move(t), std::move(v));
+}
+[[nodiscard]] inline StmtPtr if_(ExprPtr c, StmtList t, StmtList e = {}) {
+  return Stmt::if_(std::move(c), std::move(t), std::move(e));
+}
+[[nodiscard]] inline StmtPtr while_(ExprPtr c, StmtList b) {
+  return Stmt::while_(std::move(c), std::move(b));
+}
+[[nodiscard]] inline StmtPtr loop(StmtList b) { return Stmt::loop(std::move(b)); }
+[[nodiscard]] inline StmtPtr wait(ExprPtr c) { return Stmt::wait(std::move(c)); }
+[[nodiscard]] inline StmtPtr delay(uint64_t n) { return Stmt::delay_for(n); }
+[[nodiscard]] inline StmtPtr break_() { return Stmt::break_(); }
+[[nodiscard]] inline StmtPtr nop() { return Stmt::nop(); }
+
+/// call("MST_send", args(lit(3), ref("x")))
+[[nodiscard]] inline StmtPtr call(std::string callee, std::vector<ExprPtr> a) {
+  return Stmt::call(std::move(callee), std::move(a));
+}
+
+/// Waits until `sig == value` — the workhorse of every protocol.
+[[nodiscard]] inline StmtPtr wait_eq(std::string sig, uint64_t value) {
+  return Stmt::wait(eq(ref(std::move(sig)), lit(value, Type::bit())));
+}
+
+/// sig <= value (bit literal).
+[[nodiscard]] inline StmtPtr set(std::string sig, uint64_t value) {
+  return Stmt::signal_assign(std::move(sig), lit(value, Type::bit()));
+}
+
+// -- variadic list builders ---------------------------------------------------
+namespace detail {
+inline void append(StmtList&) {}
+template <typename... Rest>
+void append(StmtList& l, StmtPtr s, Rest... rest) {
+  l.push_back(std::move(s));
+  append(l, std::move(rest)...);
+}
+inline void append_exprs(std::vector<ExprPtr>&) {}
+template <typename... Rest>
+void append_exprs(std::vector<ExprPtr>& l, ExprPtr e, Rest... rest) {
+  l.push_back(std::move(e));
+  append_exprs(l, std::move(rest)...);
+}
+inline void append_behaviors(std::vector<BehaviorPtr>&) {}
+template <typename... Rest>
+void append_behaviors(std::vector<BehaviorPtr>& l, BehaviorPtr b, Rest... rest) {
+  l.push_back(std::move(b));
+  append_behaviors(l, std::move(rest)...);
+}
+}  // namespace detail
+
+template <typename... S>
+[[nodiscard]] StmtList block(S... stmts) {
+  StmtList l;
+  detail::append(l, std::move(stmts)...);
+  return l;
+}
+
+template <typename... E>
+[[nodiscard]] std::vector<ExprPtr> args(E... exprs) {
+  std::vector<ExprPtr> l;
+  detail::append_exprs(l, std::move(exprs)...);
+  return l;
+}
+
+template <typename... B>
+[[nodiscard]] std::vector<BehaviorPtr> behaviors(B... bs) {
+  std::vector<BehaviorPtr> l;
+  detail::append_behaviors(l, std::move(bs)...);
+  return l;
+}
+
+/// Transition lists (Transition owns its guard and is move-only, so brace
+/// initializer lists cannot be used).
+template <typename... T>
+[[nodiscard]] std::vector<Transition> arcs(T... ts) {
+  std::vector<Transition> l;
+  (l.push_back(std::move(ts)), ...);
+  return l;
+}
+
+// -- behavior factories -------------------------------------------------------
+[[nodiscard]] inline BehaviorPtr leaf(std::string name, StmtList body) {
+  return Behavior::make_leaf(std::move(name), std::move(body));
+}
+[[nodiscard]] inline BehaviorPtr seq(std::string name,
+                                     std::vector<BehaviorPtr> children,
+                                     std::vector<Transition> transitions = {}) {
+  return Behavior::make_seq(std::move(name), std::move(children),
+                            std::move(transitions));
+}
+[[nodiscard]] inline BehaviorPtr conc(std::string name,
+                                      std::vector<BehaviorPtr> children) {
+  return Behavior::make_conc(std::move(name), std::move(children));
+}
+
+/// Guarded transition arc: on(from, guard, to). Null guard = always.
+[[nodiscard]] inline Transition on(std::string from, ExprPtr guard,
+                                   std::string to) {
+  Transition t;
+  t.from = std::move(from);
+  t.guard = std::move(guard);
+  t.to = std::move(to);
+  return t;
+}
+/// Unconditional arc.
+[[nodiscard]] inline Transition on(std::string from, std::string to) {
+  return on(std::move(from), nullptr, std::move(to));
+}
+/// Completion arc (composite completes when `from` completes and guard holds).
+[[nodiscard]] inline Transition done(std::string from, ExprPtr guard = nullptr) {
+  return on(std::move(from), std::move(guard), "");
+}
+
+// -- declaration helpers ------------------------------------------------------
+[[nodiscard]] VarDecl var(std::string name, Type t = Type::u32(),
+                          uint64_t init = 0, bool observable = false);
+[[nodiscard]] SignalDecl signal(std::string name, Type t = Type::bit(),
+                                uint64_t init = 0);
+[[nodiscard]] Param in_param(std::string name, Type t = Type::u32());
+[[nodiscard]] Param out_param(std::string name, Type t = Type::u32());
+
+}  // namespace specsyn::build

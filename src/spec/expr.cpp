@@ -1,0 +1,113 @@
+#include "spec/expr.h"
+
+namespace specsyn {
+
+const char* to_string(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "%";
+    case BinOp::And: return "&";
+    case BinOp::Or: return "|";
+    case BinOp::Xor: return "^";
+    case BinOp::Shl: return "<<";
+    case BinOp::Shr: return ">>";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::LogicalAnd: return "&&";
+    case BinOp::LogicalOr: return "||";
+  }
+  return "?";
+}
+
+const char* to_string(UnOp op) {
+  switch (op) {
+    case UnOp::LogicalNot: return "!";
+    case UnOp::BitNot: return "~";
+    case UnOp::Neg: return "-";
+  }
+  return "?";
+}
+
+int precedence(BinOp op) {
+  switch (op) {
+    case BinOp::Mul: case BinOp::Div: case BinOp::Mod: return 10;
+    case BinOp::Add: case BinOp::Sub: return 9;
+    case BinOp::Shl: case BinOp::Shr: return 8;
+    case BinOp::Lt: case BinOp::Le: case BinOp::Gt: case BinOp::Ge: return 7;
+    case BinOp::Eq: case BinOp::Ne: return 6;
+    case BinOp::And: return 5;
+    case BinOp::Xor: return 4;
+    case BinOp::Or: return 3;
+    case BinOp::LogicalAnd: return 2;
+    case BinOp::LogicalOr: return 1;
+  }
+  return 0;
+}
+
+ExprPtr Expr::lit(uint64_t v, Type t) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::IntLit;
+  e->int_value = t.wrap(v);
+  e->type = t;
+  return e;
+}
+
+ExprPtr Expr::ref(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::NameRef;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::unary(UnOp op, ExprPtr inner) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::Unary;
+  e->un_op = op;
+  e->args.push_back(std::move(inner));
+  return e;
+}
+
+ExprPtr Expr::binary(BinOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::Binary;
+  e->bin_op = op;
+  e->args.push_back(std::move(l));
+  e->args.push_back(std::move(r));
+  return e;
+}
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->int_value = int_value;
+  e->type = type;
+  e->name = name;
+  e->un_op = un_op;
+  e->bin_op = bin_op;
+  e->loc = loc;
+  e->args.reserve(args.size());
+  for (const auto& a : args) e->args.push_back(a->clone());
+  return e;
+}
+
+void Expr::collect_names(std::vector<std::string>& out) const {
+  if (kind == Kind::NameRef) out.push_back(name);
+  for (const auto& a : args) a->collect_names(out);
+}
+
+bool Expr::references(const std::string& n) const {
+  if (kind == Kind::NameRef && name == n) return true;
+  for (const auto& a : args) {
+    if (a->references(n)) return true;
+  }
+  return false;
+}
+
+}  // namespace specsyn

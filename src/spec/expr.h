@@ -1,0 +1,102 @@
+// Expression trees of the SpecLang IR.
+//
+// Expressions are immutable once built and owned by their parent statement
+// (or transition guard) through unique_ptr. A single tagged struct is used
+// rather than a class hierarchy: the node set is small and closed, and a
+// tag + children representation keeps clone / print / evaluate / rewrite
+// passes each in one switch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spec/type.h"
+#include "support/diagnostics.h"
+
+namespace specsyn {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class UnOp : uint8_t {
+  LogicalNot,  // !e   (1 if e == 0 else 0)
+  BitNot,      // ~e
+  Neg,         // -e   (two's complement, wraps)
+};
+
+enum class BinOp : uint8_t {
+  Add, Sub, Mul, Div, Mod,
+  And, Or, Xor, Shl, Shr,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  LogicalAnd, LogicalOr,
+};
+
+/// Spelling used by the printer and parser, e.g. "+", "&&", "=".
+[[nodiscard]] const char* to_string(BinOp op);
+[[nodiscard]] const char* to_string(UnOp op);
+
+/// Binding strength for parenthesization; higher binds tighter.
+[[nodiscard]] int precedence(BinOp op);
+
+struct Expr {
+  enum class Kind : uint8_t {
+    IntLit,   // integer literal of type `type`
+    NameRef,  // reference to a variable or signal named `name`
+    Unary,    // un_op applied to args[0]
+    Binary,   // bin_op applied to args[0], args[1]
+  };
+
+  Kind kind;
+  uint64_t int_value = 0;        // IntLit
+  Type type = Type::u32();       // IntLit
+  std::string name;              // NameRef
+  UnOp un_op = UnOp::LogicalNot; // Unary
+  BinOp bin_op = BinOp::Add;     // Binary
+  std::vector<ExprPtr> args;
+  SourceLoc loc;
+
+  // -- factories ------------------------------------------------------------
+  [[nodiscard]] static ExprPtr lit(uint64_t v, Type t = Type::u32());
+  [[nodiscard]] static ExprPtr ref(std::string name);
+  [[nodiscard]] static ExprPtr unary(UnOp op, ExprPtr e);
+  [[nodiscard]] static ExprPtr binary(BinOp op, ExprPtr l, ExprPtr r);
+
+  [[nodiscard]] ExprPtr clone() const;
+
+  /// Collects every name referenced in this tree (with duplicates) into out.
+  void collect_names(std::vector<std::string>& out) const;
+
+  /// True if any NameRef in this tree matches `name`.
+  [[nodiscard]] bool references(const std::string& name) const;
+};
+
+// Terse builder aliases used pervasively by the refiner, workloads and tests.
+namespace build {
+[[nodiscard]] inline ExprPtr lit(uint64_t v, Type t = Type::u32()) { return Expr::lit(v, t); }
+[[nodiscard]] inline ExprPtr ref(std::string n) { return Expr::ref(std::move(n)); }
+[[nodiscard]] inline ExprPtr add(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::Add, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr sub(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::Sub, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr mul(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::Mul, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr div(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::Div, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr mod(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::Mod, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr band(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::And, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr bor(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::Or, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr bxor(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::Xor, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr shl(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::Shl, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr shr(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::Shr, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr lt(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::Lt, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr le(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::Le, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr gt(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::Gt, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr ge(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::Ge, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr eq(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::Eq, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr ne(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::Ne, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr land(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::LogicalAnd, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr lor(ExprPtr l, ExprPtr r) { return Expr::binary(BinOp::LogicalOr, std::move(l), std::move(r)); }
+[[nodiscard]] inline ExprPtr lnot(ExprPtr e) { return Expr::unary(UnOp::LogicalNot, std::move(e)); }
+[[nodiscard]] inline ExprPtr bnot(ExprPtr e) { return Expr::unary(UnOp::BitNot, std::move(e)); }
+[[nodiscard]] inline ExprPtr neg(ExprPtr e) { return Expr::unary(UnOp::Neg, std::move(e)); }
+}  // namespace build
+
+}  // namespace specsyn

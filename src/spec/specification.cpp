@@ -1,0 +1,139 @@
+#include "spec/specification.h"
+
+namespace specsyn {
+
+Specification Specification::clone() const {
+  Specification s;
+  s.name = name;
+  s.vars = vars;
+  s.signals = signals;
+  s.procedures.reserve(procedures.size());
+  for (const auto& p : procedures) s.procedures.push_back(p.clone());
+  if (top) s.top = top->clone();
+  return s;
+}
+
+Behavior* Specification::find_behavior(const std::string& n) const {
+  if (!top) return nullptr;
+  Behavior* found = nullptr;
+  top->for_each([&](Behavior& b) {
+    if (!found && b.name == n) found = &b;
+  });
+  return found;
+}
+
+Behavior* Specification::parent_of(const std::string& n) const {
+  if (!top) return nullptr;
+  Behavior* found = nullptr;
+  top->for_each([&](Behavior& b) {
+    if (found) return;
+    for (const auto& c : b.children) {
+      if (c->name == n) {
+        found = &b;
+        return;
+      }
+    }
+  });
+  return found;
+}
+
+std::vector<Behavior*> Specification::all_behaviors() const {
+  if (!top) return {};
+  return top->all_behaviors();
+}
+
+const VarDecl* Specification::find_var(const std::string& n,
+                                       const Behavior** owner) const {
+  for (const auto& v : vars) {
+    if (v.name == n) {
+      if (owner) *owner = nullptr;
+      return &v;
+    }
+  }
+  const VarDecl* found = nullptr;
+  if (top) {
+    top->for_each([&](const Behavior& b) {
+      if (found) return;
+      for (const auto& v : b.vars) {
+        if (v.name == n) {
+          found = &v;
+          if (owner) *owner = &b;
+          return;
+        }
+      }
+    });
+  }
+  return found;
+}
+
+const SignalDecl* Specification::find_signal(const std::string& n,
+                                             const Behavior** owner) const {
+  for (const auto& s : signals) {
+    if (s.name == n) {
+      if (owner) *owner = nullptr;
+      return &s;
+    }
+  }
+  const SignalDecl* found = nullptr;
+  if (top) {
+    top->for_each([&](const Behavior& b) {
+      if (found) return;
+      for (const auto& s : b.signals) {
+        if (s.name == n) {
+          found = &s;
+          if (owner) *owner = &b;
+          return;
+        }
+      }
+    });
+  }
+  return found;
+}
+
+const Procedure* Specification::find_procedure(const std::string& n) const {
+  for (const auto& p : procedures) {
+    if (p.name == n) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<const VarDecl*> Specification::all_vars() const {
+  std::vector<const VarDecl*> out;
+  for (const auto& v : vars) out.push_back(&v);
+  if (top) {
+    top->for_each([&](const Behavior& b) {
+      for (const auto& v : b.vars) out.push_back(&v);
+    });
+  }
+  return out;
+}
+
+std::vector<const SignalDecl*> Specification::all_signals() const {
+  std::vector<const SignalDecl*> out;
+  for (const auto& s : signals) out.push_back(&s);
+  if (top) {
+    top->for_each([&](const Behavior& b) {
+      for (const auto& s : b.signals) out.push_back(&s);
+    });
+  }
+  return out;
+}
+
+size_t Specification::stmt_count() const {
+  size_t n = top ? top->stmt_count() : 0;
+  for (const auto& p : procedures) {
+    for (const auto& s : p.body) n += s->node_count();
+  }
+  return n;
+}
+
+bool Specification::is_fully_sequential() const {
+  if (!top) return true;
+  bool seq = true;
+  top->for_each([&](const Behavior& b) {
+    if (b.kind == BehaviorKind::Concurrent) seq = false;
+  });
+  return seq;
+}
+
+}  // namespace specsyn

@@ -1,0 +1,81 @@
+// The Specification: the unit of input and output of every pass.
+//
+// A specification bundles a behavior hierarchy with specification-level
+// variable/signal declarations and a procedure library. The original
+// functional model handed to codesign typically has *no* signals and *no*
+// procedures; the refiner introduces both (B_start/B_done control signals,
+// bus signal bundles, MST_*/SLV_* protocol procedures) on its way to an
+// implementation model.
+//
+// Name discipline: behavior names, variable names and signal names must each
+// be unique across the entire specification (validate() enforces this).
+// Variables and signals share one namespace. This mirrors the flat name
+// space the paper's refinement examples assume and lets every pass identify
+// an object by name alone.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spec/behavior.h"
+#include "support/diagnostics.h"
+
+namespace specsyn {
+
+struct Specification {
+  std::string name;
+  std::vector<VarDecl> vars;       // specification-level (visible everywhere)
+  std::vector<SignalDecl> signals; // specification-level
+  std::vector<Procedure> procedures;
+  BehaviorPtr top;
+
+  [[nodiscard]] Specification clone() const;
+
+  // -- lookup ---------------------------------------------------------------
+
+  /// Behavior with the given name anywhere in the hierarchy, or nullptr.
+  [[nodiscard]] Behavior* find_behavior(const std::string& name) const;
+
+  /// Parent of the named behavior; nullptr for top or unknown names.
+  [[nodiscard]] Behavior* parent_of(const std::string& name) const;
+
+  /// All behaviors, pre-order from top.
+  [[nodiscard]] std::vector<Behavior*> all_behaviors() const;
+
+  /// Declaration of the named variable (spec level or any behavior), or
+  /// nullptr. `owner`, when non-null, receives the declaring behavior
+  /// (nullptr if declared at specification level).
+  [[nodiscard]] const VarDecl* find_var(const std::string& name,
+                                        const Behavior** owner = nullptr) const;
+  [[nodiscard]] const SignalDecl* find_signal(const std::string& name,
+                                              const Behavior** owner = nullptr) const;
+
+  /// Procedure by name, or nullptr.
+  [[nodiscard]] const Procedure* find_procedure(const std::string& name) const;
+
+  /// Every variable declared anywhere in the specification.
+  [[nodiscard]] std::vector<const VarDecl*> all_vars() const;
+  [[nodiscard]] std::vector<const SignalDecl*> all_signals() const;
+
+  /// Total statement count across all behaviors and procedures.
+  [[nodiscard]] size_t stmt_count() const;
+
+  /// True if no behavior in the hierarchy is a Concurrent composite.
+  /// (Purely sequential specs admit a stronger equivalence check: per-
+  /// variable write traces, not just final values.)
+  [[nodiscard]] bool is_fully_sequential() const;
+};
+
+/// Structural validation: unique names, resolvable references, transitions
+/// naming real siblings, leaf/composite shape rules, call arity and out-param
+/// shape, scoping of every name use. Returns true if no errors were emitted.
+bool validate(const Specification& spec, DiagnosticSink& diags);
+
+/// Convenience wrapper: validates and throws SpecError with the collected
+/// diagnostics if validation fails. Passes with documented "valid input"
+/// preconditions call this on entry.
+void validate_or_throw(const Specification& spec);
+
+}  // namespace specsyn

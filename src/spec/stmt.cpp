@@ -1,0 +1,117 @@
+#include "spec/stmt.h"
+
+namespace specsyn {
+
+StmtPtr Stmt::assign(std::string target, ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Kind::Assign;
+  s->target = std::move(target);
+  s->expr = std::move(value);
+  return s;
+}
+
+StmtPtr Stmt::signal_assign(std::string target, ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Kind::SignalAssign;
+  s->target = std::move(target);
+  s->expr = std::move(value);
+  return s;
+}
+
+StmtPtr Stmt::if_(ExprPtr cond, StmtList then_block, StmtList else_block) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Kind::If;
+  s->expr = std::move(cond);
+  s->then_block = std::move(then_block);
+  s->else_block = std::move(else_block);
+  return s;
+}
+
+StmtPtr Stmt::while_(ExprPtr cond, StmtList body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Kind::While;
+  s->expr = std::move(cond);
+  s->then_block = std::move(body);
+  return s;
+}
+
+StmtPtr Stmt::loop(StmtList body) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Kind::Loop;
+  s->then_block = std::move(body);
+  return s;
+}
+
+StmtPtr Stmt::wait(ExprPtr cond) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Kind::Wait;
+  s->expr = std::move(cond);
+  return s;
+}
+
+StmtPtr Stmt::delay_for(uint64_t cycles) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Kind::Delay;
+  s->delay = cycles;
+  return s;
+}
+
+StmtPtr Stmt::call(std::string callee, std::vector<ExprPtr> args) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Kind::Call;
+  s->callee = std::move(callee);
+  s->args = std::move(args);
+  return s;
+}
+
+StmtPtr Stmt::break_() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Kind::Break;
+  return s;
+}
+
+StmtPtr Stmt::nop() {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Kind::Nop;
+  return s;
+}
+
+StmtPtr Stmt::clone() const {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->target = target;
+  s->callee = callee;
+  s->delay = delay;
+  s->loc = loc;
+  if (expr) s->expr = expr->clone();
+  s->then_block = clone_list(then_block);
+  s->else_block = clone_list(else_block);
+  s->args.reserve(args.size());
+  for (const auto& a : args) s->args.push_back(a->clone());
+  return s;
+}
+
+StmtList Stmt::clone_list(const StmtList& list) {
+  StmtList out;
+  out.reserve(list.size());
+  for (const auto& s : list) out.push_back(s->clone());
+  return out;
+}
+
+size_t Stmt::node_count() const {
+  size_t n = 1;
+  for (const auto& s : then_block) n += s->node_count();
+  for (const auto& s : else_block) n += s->node_count();
+  return n;
+}
+
+Procedure Procedure::clone() const {
+  Procedure p;
+  p.name = name;
+  p.params = params;
+  p.locals = locals;
+  p.body = Stmt::clone_list(body);
+  return p;
+}
+
+}  // namespace specsyn

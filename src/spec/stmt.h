@@ -1,0 +1,88 @@
+// Statements of the SpecLang IR: the sequential code of leaf behaviors and
+// procedure bodies. Like Expr, Stmt is a single tagged struct with factory
+// functions; ownership of sub-statements and expressions is by unique_ptr.
+//
+// The statement set matches what the paper's refinement procedures need to
+// produce: assignments, signal assignments (the `<=`-style scheduled update
+// used by B_start/B_done and the bus protocols), branching, loops, and
+// level-sensitive waits (`wait until <cond>`), plus procedure calls so that
+// protocol bodies (MST_send / MST_receive / SLV_send / SLV_receive) can be
+// emitted once per component and invoked at each rewritten variable access.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spec/expr.h"
+
+namespace specsyn {
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    Assign,        // target := expr           (variable, immediate)
+    SignalAssign,  // target <= expr           (signal, takes effect next cycle)
+    If,            // if expr { then_block } else { else_block }
+    While,         // while expr { then_block }
+    Loop,          // loop { then_block }      (forever; exit via Break)
+    Wait,          // wait until expr          (level-sensitive, re-evaluated on signal events)
+    Delay,         // delay N                  (advance local time by N cycles)
+    Call,          // call callee(args...)     (out-params must be NameRefs)
+    Break,         // break                    (exits innermost While/Loop)
+    Nop,           // no operation (placeholder kept by the printer)
+  };
+
+  Kind kind = Kind::Nop;
+  std::string target;            // Assign / SignalAssign
+  ExprPtr expr;                  // Assign value; If/While/Wait condition
+  StmtList then_block;           // If-then; While/Loop body
+  StmtList else_block;           // If-else
+  std::string callee;            // Call
+  std::vector<ExprPtr> args;     // Call arguments (in order of params)
+  uint64_t delay = 0;            // Delay
+  SourceLoc loc;
+
+  // -- factories ------------------------------------------------------------
+  [[nodiscard]] static StmtPtr assign(std::string target, ExprPtr value);
+  [[nodiscard]] static StmtPtr signal_assign(std::string target, ExprPtr value);
+  [[nodiscard]] static StmtPtr if_(ExprPtr cond, StmtList then_block,
+                                   StmtList else_block = {});
+  [[nodiscard]] static StmtPtr while_(ExprPtr cond, StmtList body);
+  [[nodiscard]] static StmtPtr loop(StmtList body);
+  [[nodiscard]] static StmtPtr wait(ExprPtr cond);
+  [[nodiscard]] static StmtPtr delay_for(uint64_t cycles);
+  [[nodiscard]] static StmtPtr call(std::string callee, std::vector<ExprPtr> args);
+  [[nodiscard]] static StmtPtr break_();
+  [[nodiscard]] static StmtPtr nop();
+
+  [[nodiscard]] StmtPtr clone() const;
+  [[nodiscard]] static StmtList clone_list(const StmtList& list);
+
+  /// Number of statement nodes in this subtree (for size metrics).
+  [[nodiscard]] size_t node_count() const;
+};
+
+/// A procedure: named, reusable sequential code. Parameters are passed by
+/// value (in) or by reference (out; the call-site argument must be a NameRef
+/// naming a variable). Procedures may not declare nested procedures.
+struct Param {
+  std::string name;
+  Type type = Type::u32();
+  bool is_out = false;
+};
+
+struct Procedure {
+  std::string name;
+  std::vector<Param> params;
+  /// Local variables of the procedure body.
+  std::vector<std::pair<std::string, Type>> locals;
+  StmtList body;
+
+  [[nodiscard]] Procedure clone() const;
+};
+
+}  // namespace specsyn

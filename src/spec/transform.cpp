@@ -1,0 +1,253 @@
+#include "spec/transform.h"
+
+#include "sim/value.h"
+
+namespace specsyn {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// renaming
+// ---------------------------------------------------------------------------
+
+void rename_in_expr(Expr& e, const std::string& from, const std::string& to) {
+  if (e.kind == Expr::Kind::NameRef && e.name == from) e.name = to;
+  for (auto& a : e.args) rename_in_expr(*a, from, to);
+}
+
+void rename_in_block(StmtList& stmts, const std::string& from,
+                     const std::string& to) {
+  for (auto& s : stmts) {
+    if (s->target == from) s->target = to;
+    if (s->expr) rename_in_expr(*s->expr, from, to);
+    for (auto& a : s->args) rename_in_expr(*a, from, to);
+    rename_in_block(s->then_block, from, to);
+    rename_in_block(s->else_block, from, to);
+  }
+}
+
+bool proc_shadows(const Procedure& p, const std::string& name) {
+  for (const Param& prm : p.params) {
+    if (prm.name == name) return true;
+  }
+  for (const auto& [local, type] : p.locals) {
+    (void)type;
+    if (local == name) return true;
+  }
+  return false;
+}
+
+void check_rename_target(const Specification& spec, const std::string& from,
+                         const std::string& to, bool object) {
+  const bool from_exists =
+      object ? (spec.find_var(from) != nullptr ||
+                spec.find_signal(from) != nullptr)
+             : spec.find_behavior(from) != nullptr;
+  if (!from_exists) {
+    throw SpecError("rename: '" + from + "' does not exist");
+  }
+  if (spec.find_var(to) != nullptr || spec.find_signal(to) != nullptr ||
+      spec.find_behavior(to) != nullptr) {
+    throw SpecError("rename: '" + to + "' already exists");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// constant folding
+// ---------------------------------------------------------------------------
+
+bool is_lit(const Expr& e) { return e.kind == Expr::Kind::IntLit; }
+
+void fold_expr(ExprPtr& e, FoldStats& stats) {
+  for (auto& a : e->args) fold_expr(a, stats);
+  switch (e->kind) {
+    case Expr::Kind::Unary:
+      if (is_lit(*e->args[0])) {
+        e = Expr::lit(apply_unop(e->un_op, e->args[0]->int_value),
+                      Type::u64());
+        ++stats.folded_exprs;
+      }
+      break;
+    case Expr::Kind::Binary:
+      if (is_lit(*e->args[0]) && is_lit(*e->args[1])) {
+        e = Expr::lit(apply_binop(e->bin_op, e->args[0]->int_value,
+                                  e->args[1]->int_value),
+                      Type::u64());
+        ++stats.folded_exprs;
+      }
+      break;
+    case Expr::Kind::IntLit:
+    case Expr::Kind::NameRef:
+      break;
+  }
+}
+
+StmtList fold_block(StmtList stmts, FoldStats& stats) {
+  StmtList out;
+  for (auto& s : stmts) {
+    if (s->expr) fold_expr(s->expr, stats);
+    for (auto& a : s->args) fold_expr(a, stats);
+    switch (s->kind) {
+      case Stmt::Kind::If: {
+        s->then_block = fold_block(std::move(s->then_block), stats);
+        s->else_block = fold_block(std::move(s->else_block), stats);
+        if (is_lit(*s->expr)) {
+          ++stats.pruned_branches;
+          StmtList& taken =
+              s->expr->int_value != 0 ? s->then_block : s->else_block;
+          for (auto& t : taken) out.push_back(std::move(t));
+          continue;
+        }
+        break;
+      }
+      case Stmt::Kind::While: {
+        s->then_block = fold_block(std::move(s->then_block), stats);
+        if (is_lit(*s->expr)) {
+          ++stats.pruned_branches;
+          if (s->expr->int_value == 0) continue;  // never runs
+          // `while <true>` is an infinite loop; Break semantics unchanged.
+          StmtPtr forever = Stmt::loop(std::move(s->then_block));
+          out.push_back(std::move(forever));
+          continue;
+        }
+        break;
+      }
+      case Stmt::Kind::Loop:
+        s->then_block = fold_block(std::move(s->then_block), stats);
+        break;
+      case Stmt::Kind::Wait:
+        if (is_lit(*s->expr) && s->expr->int_value != 0) {
+          ++stats.pruned_branches;  // passes immediately: remove
+          continue;
+        }
+        break;
+      default:
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void fold_behavior(Behavior& b, FoldStats& stats) {
+  if (b.is_leaf()) {
+    b.body = fold_block(std::move(b.body), stats);
+    return;
+  }
+  std::vector<Transition> kept;
+  for (Transition& t : b.transitions) {
+    if (t.guard) {
+      ExprPtr g = std::move(t.guard);
+      fold_expr(g, stats);
+      if (is_lit(*g)) {
+        ++stats.pruned_branches;
+        if (g->int_value == 0) continue;  // arc can never fire: drop
+        // always fires: unconditional arc
+      } else {
+        t.guard = std::move(g);
+      }
+    }
+    kept.push_back(std::move(t));
+  }
+  b.transitions = std::move(kept);
+  for (auto& c : b.children) fold_behavior(*c, stats);
+}
+
+// ---------------------------------------------------------------------------
+// trivial-composite flattening
+// ---------------------------------------------------------------------------
+
+bool is_trivial_seq(const Behavior& b) {
+  return b.kind == BehaviorKind::Sequential && b.children.size() == 1 &&
+         b.transitions.empty();
+}
+
+/// Takes ownership of a trivial composite and returns its only child, with
+/// the composite's declarations moved onto it.
+BehaviorPtr splice(BehaviorPtr composite) {
+  BehaviorPtr child = std::move(composite->children[0]);
+  for (auto& v : composite->vars) child->vars.push_back(std::move(v));
+  for (auto& sg : composite->signals) child->signals.push_back(std::move(sg));
+  return child;
+}
+
+size_t flatten_under(Behavior& b) {
+  size_t removed = 0;
+  for (auto& c : b.children) removed += flatten_under(*c);
+  for (auto& c : b.children) {
+    while (is_trivial_seq(*c)) {
+      const std::string old_name = c->name;
+      c = splice(std::move(c));
+      for (Transition& t : b.transitions) {
+        if (t.from == old_name) t.from = c->name;
+        if (t.to == old_name) t.to = c->name;
+      }
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace
+
+void rename_object(Specification& spec, const std::string& from,
+                   const std::string& to) {
+  check_rename_target(spec, from, to, /*object=*/true);
+  for (VarDecl& v : spec.vars) {
+    if (v.name == from) v.name = to;
+  }
+  for (SignalDecl& s : spec.signals) {
+    if (s.name == from) s.name = to;
+  }
+  if (spec.top) {
+    spec.top->for_each([&](Behavior& b) {
+      for (VarDecl& v : b.vars) {
+        if (v.name == from) v.name = to;
+      }
+      for (SignalDecl& s : b.signals) {
+        if (s.name == from) s.name = to;
+      }
+      rename_in_block(b.body, from, to);
+      for (Transition& t : b.transitions) {
+        if (t.guard) rename_in_expr(*t.guard, from, to);
+      }
+    });
+  }
+  for (Procedure& p : spec.procedures) {
+    if (!proc_shadows(p, from)) rename_in_block(p.body, from, to);
+  }
+}
+
+void rename_behavior(Specification& spec, const std::string& from,
+                     const std::string& to) {
+  check_rename_target(spec, from, to, /*object=*/false);
+  if (!spec.top) return;
+  spec.top->for_each([&](Behavior& b) {
+    if (b.name == from) b.name = to;
+    for (Transition& t : b.transitions) {
+      if (t.from == from) t.from = to;
+      if (t.to == from) t.to = to;
+    }
+  });
+}
+
+FoldStats fold_constants(Specification& spec) {
+  FoldStats stats;
+  if (spec.top) fold_behavior(*spec.top, stats);
+  for (Procedure& p : spec.procedures) {
+    p.body = fold_block(std::move(p.body), stats);
+  }
+  return stats;
+}
+
+size_t flatten_trivial_composites(Specification& spec) {
+  if (!spec.top) return 0;
+  size_t removed = flatten_under(*spec.top);
+  while (is_trivial_seq(*spec.top)) {
+    spec.top = splice(std::move(spec.top));
+    ++removed;
+  }
+  return removed;
+}
+
+}  // namespace specsyn

@@ -1,0 +1,53 @@
+// Specification transformation utilities: semantics-preserving rewrites
+// usable on functional models and refined implementation models alike.
+//
+//   * rename_object   — consistent renaming of a variable/signal across the
+//     whole specification (declarations, expressions, assignment targets,
+//     call arguments).
+//   * rename_behavior — renaming of a behavior incl. transition arcs.
+//   * fold_constants  — bottom-up constant folding of expressions using the
+//     simulator's exact operator semantics (so folding can never change
+//     behaviour), plus pruning of statically decided branches:
+//     `if 1 {A} else {B}` -> A, `while 0 {..}` -> removed, `wait 1` ->
+//     removed. Transition guards fold too (statically false arcs dropped,
+//     statically true guards erased).
+//   * flatten_trivial_composites — a sequential composite with exactly one
+//     child and no transitions adds nothing; splice the child into the
+//     parent (repeatedly, bottom-up).
+//
+// All passes keep the specification valid (validate() before and after is
+// part of the test contract) and report what they changed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "spec/specification.h"
+
+namespace specsyn {
+
+/// Renames variable or signal `from` to `to` everywhere. Throws SpecError if
+/// `from` does not exist or `to` already names something.
+void rename_object(Specification& spec, const std::string& from,
+                   const std::string& to);
+
+/// Renames behavior `from` to `to` (transitions updated). Same error rules.
+void rename_behavior(Specification& spec, const std::string& from,
+                     const std::string& to);
+
+struct FoldStats {
+  size_t folded_exprs = 0;     // expression nodes replaced by literals
+  size_t pruned_branches = 0;  // if/while/wait/arcs statically decided
+  [[nodiscard]] size_t total() const { return folded_exprs + pruned_branches; }
+};
+
+/// Constant folding + static branch pruning across all behaviors, guards and
+/// procedures. Idempotent.
+FoldStats fold_constants(Specification& spec);
+
+/// Splices single-child, transition-free sequential composites into their
+/// parents. Returns the number of composites removed. The top behavior is
+/// replaced (not spliced) if it is itself trivial.
+size_t flatten_trivial_composites(Specification& spec);
+
+}  // namespace specsyn

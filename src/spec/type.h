@@ -1,0 +1,48 @@
+// Value types of the SpecLang specification language.
+//
+// SpecLang is deliberately small: every variable, signal and expression has
+// an unsigned bit-vector type of width 1..64. Arithmetic wraps modulo
+// 2^width, comparisons are unsigned, and boolean results are width-1 values
+// (0 or 1). This matches the level of the SpecCharts examples in the paper
+// (counters, addresses, sampled sensor words) while keeping the simulator's
+// value model trivial and exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace specsyn {
+
+/// An unsigned bit-vector type. width must be in [1, 64].
+struct Type {
+  uint32_t width = 32;
+
+  static constexpr uint32_t kMaxWidth = 64;
+
+  [[nodiscard]] static Type bit() { return Type{1}; }
+  [[nodiscard]] static Type u8() { return Type{8}; }
+  [[nodiscard]] static Type u16() { return Type{16}; }
+  [[nodiscard]] static Type u32() { return Type{32}; }
+  [[nodiscard]] static Type u64() { return Type{64}; }
+  [[nodiscard]] static Type of_width(uint32_t w) { return Type{w}; }
+
+  /// Bitmask selecting the live bits of a value of this type.
+  [[nodiscard]] uint64_t mask() const {
+    return width >= 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+  }
+
+  /// Truncates v to this type's width.
+  [[nodiscard]] uint64_t wrap(uint64_t v) const { return v & mask(); }
+
+  [[nodiscard]] bool valid() const { return width >= 1 && width <= kMaxWidth; }
+
+  /// SpecLang spelling, e.g. "bit", "int8", "int17".
+  [[nodiscard]] std::string str() const {
+    if (width == 1) return "bit";
+    return "int" + std::to_string(width);
+  }
+
+  friend bool operator==(const Type& a, const Type& b) = default;
+};
+
+}  // namespace specsyn

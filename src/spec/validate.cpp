@@ -1,0 +1,313 @@
+// Structural validation of a Specification. Every pass in the library
+// documents "valid specification" as its precondition; this is the single
+// definition of validity.
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "spec/specification.h"
+
+namespace specsyn {
+
+namespace {
+
+enum class SymKind { Var, Signal };
+
+struct Scope {
+  // name -> kind, innermost wins (but names are globally unique anyway).
+  std::vector<std::pair<std::string, SymKind>> syms;
+
+  [[nodiscard]] const SymKind* find(const std::string& n) const {
+    for (auto it = syms.rbegin(); it != syms.rend(); ++it) {
+      if (it->first == n) return &it->second;
+    }
+    return nullptr;
+  }
+};
+
+class Validator {
+ public:
+  Validator(const Specification& spec, DiagnosticSink& diags)
+      : spec_(spec), diags_(diags) {}
+
+  void run() {
+    if (!spec_.top) {
+      diags_.error("specification '" + spec_.name + "' has no top behavior");
+      return;
+    }
+    check_unique_names();
+    Scope scope;
+    for (const auto& v : spec_.vars) {
+      check_type(v.type, "variable '" + v.name + "'");
+      scope.syms.emplace_back(v.name, SymKind::Var);
+    }
+    for (const auto& s : spec_.signals) {
+      check_type(s.type, "signal '" + s.name + "'");
+      scope.syms.emplace_back(s.name, SymKind::Signal);
+    }
+    check_procedures(scope);
+    check_behavior(*spec_.top, scope);
+  }
+
+ private:
+  void check_type(const Type& t, const std::string& what) {
+    if (!t.valid()) {
+      diags_.error(what + " has invalid width " + std::to_string(t.width));
+    }
+  }
+
+  void check_unique_names() {
+    std::set<std::string> behavior_names;
+    spec_.top->for_each([&](const Behavior& b) {
+      if (b.name.empty()) {
+        diags_.error("behavior with empty name", b.loc);
+      } else if (!behavior_names.insert(b.name).second) {
+        diags_.error("duplicate behavior name '" + b.name + "'", b.loc);
+      }
+    });
+    std::set<std::string> data_names;
+    auto add = [&](const std::string& n, const SourceLoc& loc) {
+      if (n.empty()) {
+        diags_.error("declaration with empty name", loc);
+      } else if (!data_names.insert(n).second) {
+        diags_.error("duplicate variable/signal name '" + n + "'", loc);
+      }
+    };
+    for (const auto& v : spec_.vars) add(v.name, {});
+    for (const auto& s : spec_.signals) add(s.name, {});
+    spec_.top->for_each([&](const Behavior& b) {
+      for (const auto& v : b.vars) add(v.name, b.loc);
+      for (const auto& s : b.signals) add(s.name, b.loc);
+    });
+    std::set<std::string> proc_names;
+    for (const auto& p : spec_.procedures) {
+      if (!proc_names.insert(p.name).second) {
+        diags_.error("duplicate procedure name '" + p.name + "'");
+      }
+    }
+  }
+
+  void check_procedures(const Scope& outer) {
+    for (const auto& p : spec_.procedures) {
+      Scope scope = outer;
+      std::set<std::string> local_names;
+      for (const auto& prm : p.params) {
+        check_type(prm.type, "parameter '" + prm.name + "' of '" + p.name + "'");
+        if (!local_names.insert(prm.name).second) {
+          diags_.error("duplicate parameter '" + prm.name + "' in procedure '" +
+                       p.name + "'");
+        }
+        scope.syms.emplace_back(prm.name, SymKind::Var);
+      }
+      for (const auto& [name, type] : p.locals) {
+        check_type(type, "local '" + name + "' of '" + p.name + "'");
+        if (!local_names.insert(name).second) {
+          diags_.error("duplicate local '" + name + "' in procedure '" + p.name +
+                       "'");
+        }
+        scope.syms.emplace_back(name, SymKind::Var);
+      }
+      check_block(p.body, scope, /*loop_depth=*/0,
+                  "procedure '" + p.name + "'");
+    }
+  }
+
+  void check_behavior(const Behavior& b, Scope scope) {
+    for (const auto& v : b.vars) {
+      check_type(v.type, "variable '" + v.name + "'");
+      scope.syms.emplace_back(v.name, SymKind::Var);
+    }
+    for (const auto& s : b.signals) {
+      check_type(s.type, "signal '" + s.name + "'");
+      scope.syms.emplace_back(s.name, SymKind::Signal);
+    }
+
+    const std::string where = "behavior '" + b.name + "'";
+    switch (b.kind) {
+      case BehaviorKind::Leaf:
+        if (!b.children.empty()) {
+          diags_.error(where + " is a leaf but has children", b.loc);
+        }
+        if (!b.transitions.empty()) {
+          diags_.error(where + " is a leaf but has transitions", b.loc);
+        }
+        check_block(b.body, scope, 0, where);
+        break;
+      case BehaviorKind::Sequential:
+      case BehaviorKind::Concurrent:
+        if (!b.body.empty()) {
+          diags_.error(where + " is composite but has a statement body", b.loc);
+        }
+        if (b.children.empty()) {
+          diags_.error(where + " is composite but has no children", b.loc);
+        }
+        if (b.kind == BehaviorKind::Concurrent && !b.transitions.empty()) {
+          diags_.error(where + " is concurrent but has transitions", b.loc);
+        }
+        for (const auto& t : b.transitions) {
+          if (!b.find_child(t.from)) {
+            diags_.error(where + " transition from unknown child '" + t.from +
+                             "'",
+                         b.loc);
+          }
+          if (!t.completes() && !b.find_child(t.to)) {
+            diags_.error(where + " transition to unknown child '" + t.to + "'",
+                         b.loc);
+          }
+          if (t.guard) check_expr(*t.guard, scope, where + " transition guard");
+        }
+        for (const auto& c : b.children) check_behavior(*c, scope);
+        break;
+    }
+  }
+
+  void check_block(const StmtList& stmts, const Scope& scope, int loop_depth,
+                   const std::string& where) {
+    for (const auto& s : stmts) check_stmt(*s, scope, loop_depth, where);
+  }
+
+  void check_stmt(const Stmt& s, const Scope& scope, int loop_depth,
+                  const std::string& where) {
+    switch (s.kind) {
+      case Stmt::Kind::Assign: {
+        const SymKind* k = scope.find(s.target);
+        if (!k) {
+          diags_.error(where + ": assignment to undeclared name '" + s.target +
+                           "'",
+                       s.loc);
+        } else if (*k != SymKind::Var) {
+          diags_.error(where + ": ':=' target '" + s.target +
+                           "' is a signal (use '<=')",
+                       s.loc);
+        }
+        check_expr(*s.expr, scope, where);
+        break;
+      }
+      case Stmt::Kind::SignalAssign: {
+        const SymKind* k = scope.find(s.target);
+        if (!k) {
+          diags_.error(where + ": signal assignment to undeclared name '" +
+                           s.target + "'",
+                       s.loc);
+        } else if (*k != SymKind::Signal) {
+          diags_.error(where + ": '<=' target '" + s.target +
+                           "' is a variable (use ':=')",
+                       s.loc);
+        }
+        check_expr(*s.expr, scope, where);
+        break;
+      }
+      case Stmt::Kind::If:
+        check_expr(*s.expr, scope, where);
+        check_block(s.then_block, scope, loop_depth, where);
+        check_block(s.else_block, scope, loop_depth, where);
+        break;
+      case Stmt::Kind::While:
+        check_expr(*s.expr, scope, where);
+        check_block(s.then_block, scope, loop_depth + 1, where);
+        break;
+      case Stmt::Kind::Loop:
+        check_block(s.then_block, scope, loop_depth + 1, where);
+        break;
+      case Stmt::Kind::Wait: {
+        check_expr(*s.expr, scope, where);
+        // A wait whose condition references no signal can never be woken by
+        // an event; it only passes if already true on entry.
+        std::vector<std::string> names;
+        s.expr->collect_names(names);
+        bool touches_signal = false;
+        for (const auto& n : names) {
+          if (const SymKind* k = scope.find(n); k && *k == SymKind::Signal) {
+            touches_signal = true;
+            break;
+          }
+        }
+        if (!touches_signal) {
+          diags_.warning(where + ": wait condition references no signal and "
+                                 "can only pass if initially true",
+                         s.loc);
+        }
+        break;
+      }
+      case Stmt::Kind::Delay:
+        break;
+      case Stmt::Kind::Call: {
+        const Procedure* p = spec_.find_procedure(s.callee);
+        if (!p) {
+          diags_.error(where + ": call to unknown procedure '" + s.callee + "'",
+                       s.loc);
+          break;
+        }
+        if (p->params.size() != s.args.size()) {
+          std::ostringstream os;
+          os << where << ": call to '" << s.callee << "' with "
+             << s.args.size() << " args, expected " << p->params.size();
+          diags_.error(os.str(), s.loc);
+          break;
+        }
+        for (size_t i = 0; i < s.args.size(); ++i) {
+          const Expr& a = *s.args[i];
+          if (p->params[i].is_out) {
+            if (a.kind != Expr::Kind::NameRef) {
+              diags_.error(where + ": out argument " + std::to_string(i) +
+                               " of '" + s.callee + "' must be a plain name",
+                           s.loc);
+              continue;
+            }
+            const SymKind* k = scope.find(a.name);
+            if (!k || *k != SymKind::Var) {
+              diags_.error(where + ": out argument '" + a.name + "' of '" +
+                               s.callee + "' must name a variable in scope",
+                           s.loc);
+            }
+          } else {
+            check_expr(a, scope, where);
+          }
+        }
+        break;
+      }
+      case Stmt::Kind::Break:
+        if (loop_depth == 0) {
+          diags_.error(where + ": break outside of loop", s.loc);
+        }
+        break;
+      case Stmt::Kind::Nop:
+        break;
+    }
+  }
+
+  void check_expr(const Expr& e, const Scope& scope, const std::string& where) {
+    if (e.kind == Expr::Kind::NameRef) {
+      if (!scope.find(e.name)) {
+        diags_.error(where + ": reference to undeclared name '" + e.name + "'",
+                     e.loc);
+      }
+    }
+    if (e.kind == Expr::Kind::IntLit && !e.type.valid()) {
+      diags_.error(where + ": literal with invalid type", e.loc);
+    }
+    for (const auto& a : e.args) check_expr(*a, scope, where);
+  }
+
+  const Specification& spec_;
+  DiagnosticSink& diags_;
+};
+
+}  // namespace
+
+bool validate(const Specification& spec, DiagnosticSink& diags) {
+  const size_t before = diags.error_count();
+  Validator(spec, diags).run();
+  return diags.error_count() == before;
+}
+
+void validate_or_throw(const Specification& spec) {
+  DiagnosticSink diags;
+  if (!validate(spec, diags)) {
+    throw SpecError("invalid specification '" + spec.name + "':\n" +
+                    diags.str());
+  }
+}
+
+}  // namespace specsyn

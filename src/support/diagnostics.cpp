@@ -1,0 +1,50 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace specsyn {
+
+std::string SourceLoc::str() const {
+  if (!valid()) return "<no-loc>";
+  std::ostringstream os;
+  os << line << ':' << column;
+  return os.str();
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream os;
+  switch (severity) {
+    case Severity::Note: os << "note"; break;
+    case Severity::Warning: os << "warning"; break;
+    case Severity::Error: os << "error"; break;
+  }
+  if (loc.valid()) os << " at " << loc.str();
+  os << ": " << message;
+  return os.str();
+}
+
+void DiagnosticSink::note(std::string msg, SourceLoc loc) {
+  diags_.push_back({Severity::Note, loc, std::move(msg)});
+}
+
+void DiagnosticSink::warning(std::string msg, SourceLoc loc) {
+  diags_.push_back({Severity::Warning, loc, std::move(msg)});
+}
+
+void DiagnosticSink::error(std::string msg, SourceLoc loc) {
+  diags_.push_back({Severity::Error, loc, std::move(msg)});
+  ++error_count_;
+}
+
+std::string DiagnosticSink::str() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << d.str() << '\n';
+  return os.str();
+}
+
+void DiagnosticSink::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace specsyn

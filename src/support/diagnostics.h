@@ -1,0 +1,67 @@
+// Diagnostics: error reporting shared by the parser, validator and refiner.
+//
+// The library never calls std::exit or aborts on user errors; every pass that
+// can reject its input reports through a DiagnosticSink (or throws SpecError
+// for programmer errors such as malformed IR handed to a pass that documents
+// a precondition).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace specsyn {
+
+/// A position in a SpecLang source text. Both fields are 1-based; {0,0}
+/// means "no location" (IR built programmatically rather than parsed).
+struct SourceLoc {
+  uint32_t line = 0;
+  uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  [[nodiscard]] std::string str() const;
+};
+
+enum class Severity { Note, Warning, Error };
+
+/// One reported problem. `loc` is optional.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Collects diagnostics from a pass. Cheap to copy around by reference;
+/// a default-constructed sink simply accumulates.
+class DiagnosticSink {
+ public:
+  void note(std::string msg, SourceLoc loc = {});
+  void warning(std::string msg, SourceLoc loc = {});
+  void error(std::string msg, SourceLoc loc = {});
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// All diagnostics joined by newlines (for test assertions and CLI output).
+  [[nodiscard]] std::string str() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  size_t error_count_ = 0;
+};
+
+/// Thrown on API misuse: violating a documented precondition of a pass,
+/// e.g. refining a specification that fails validation. User input errors
+/// (parse errors, bad partitions) go through DiagnosticSink instead.
+class SpecError : public std::runtime_error {
+ public:
+  explicit SpecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace specsyn

@@ -1,0 +1,133 @@
+#include "workloads/answering.h"
+
+#include "spec/builder.h"
+
+namespace specsyn {
+
+using namespace build;
+
+Specification make_answering_machine() {
+  Specification s;
+  s.name = "AnsweringMachine";
+
+  s.vars.push_back(var("machine_on", Type::u8()));
+  s.vars.push_back(var("ring_cnt", Type::u8()));
+  s.vars.push_back(var("call_idx", Type::u8()));
+  s.vars.push_back(var("sample", Type::u16()));
+  s.vars.push_back(var("code_word", Type::u16()));
+  s.vars.push_back(var("msg_store", Type::u32(), 0, /*observable=*/true));
+  s.vars.push_back(var("msg_count", Type::u8(), 0, /*observable=*/true));
+  s.vars.push_back(var("user_code", Type::u16(), 734));
+  s.vars.push_back(var("entered", Type::u16()));
+  s.vars.push_back(var("access_ok", Type::u8()));
+  s.vars.push_back(var("played", Type::u8(), 0, /*observable=*/true));
+  s.vars.push_back(var("line_state", Type::u8()));
+
+  // DTMF digit comparison used by remote access.
+  Procedure match;
+  match.name = "MatchCode";
+  match.params.push_back(in_param("dialed", Type::u16()));
+  match.params.push_back(in_param("expected", Type::u16()));
+  match.params.push_back(out_param("ok", Type::u8()));
+  match.body = block(if_(eq(ref("dialed"), ref("expected")),
+                         block(assign("ok", lit(1))),
+                         block(assign("ok", lit(0)))));
+  s.procedures.push_back(std::move(match));
+
+  // 4-bit companding of a voice sample.
+  Procedure encode;
+  encode.name = "Encode";
+  encode.params.push_back(in_param("v", Type::u16()));
+  encode.params.push_back(out_param("c", Type::u16()));
+  encode.locals.emplace_back("t", Type::u16());
+  encode.body = block(assign("t", shr(ref("v"), lit(2))),
+                      assign("c", band(ref("t"), lit(0x0F))));
+  s.procedures.push_back(std::move(encode));
+
+  // --- power-on ---------------------------------------------------------------
+  auto power_on = leaf("PowerOn",
+                       block(assign("machine_on", lit(1)),
+                             assign("msg_store", lit(0)),
+                             assign("msg_count", lit(0)),
+                             assign("call_idx", lit(0))));
+
+  // --- one call session --------------------------------------------------------
+  auto wait_ring = leaf(
+      "WaitRing",
+      block(assign("ring_cnt", lit(0)),
+            while_(lt(ref("ring_cnt"), lit(4)),
+                   block(assign("ring_cnt", add(ref("ring_cnt"), lit(1))),
+                         assign("line_state",
+                                mod(add(mul(ref("call_idx"), lit(19)),
+                                        ref("ring_cnt")),
+                                    lit(7)))))));
+
+  auto play_greeting = leaf(
+      "PlayGreeting",
+      block(assign("sample", add(mul(ref("call_idx"), lit(37)), lit(101)))));
+
+  auto sample_voice = leaf(
+      "SampleVoice",
+      block(assign("sample",
+                   mod(add(mul(ref("sample"), lit(13)), ref("ring_cnt")),
+                       lit(512))),
+            call("Encode", args(ref("sample"), ref("code_word")))));
+
+  auto store_msg = leaf(
+      "StoreMsg",
+      block(assign("msg_store",
+                   add(mul(ref("msg_store"), lit(16)), ref("code_word"))),
+            assign("msg_count", add(ref("msg_count"), lit(1)))));
+
+  auto record = seq("RecordMsg",
+                    behaviors(std::move(sample_voice), std::move(store_msg)));
+
+  auto hang_up = leaf("HangUp", block(assign("line_state", lit(0))));
+
+  auto answer = seq("AnswerCall",
+                    behaviors(std::move(play_greeting), std::move(record),
+                              std::move(hang_up)));
+
+  // --- remote access (owner calls in to play messages) --------------------------
+  auto check_code = leaf(
+      "CheckCode",
+      block(assign("entered", add(mul(ref("call_idx"), lit(367)), lit(0))),
+            call("MatchCode", args(ref("entered"), ref("user_code"),
+                                   ref("access_ok")))));
+
+  auto play_messages = leaf(
+      "PlayMessages",
+      block(if_(eq(ref("access_ok"), lit(1)),
+                block(assign("played", ref("msg_count"))),
+                block(assign("played", lit(0))))));
+
+  auto remote = seq("RemoteAccess",
+                    behaviors(std::move(check_code), std::move(play_messages)));
+
+  auto next_call = leaf("NextCall",
+                        block(assign("call_idx", add(ref("call_idx"),
+                                                     lit(1)))));
+
+  // Session: ring, then answer normally or serve a remote-access call
+  // (line_state parity decides), then advance.
+  auto session = seq(
+      "Session",
+      behaviors(std::move(wait_ring), std::move(answer), std::move(remote),
+                std::move(next_call)),
+      arcs(on("WaitRing", eq(mod(ref("line_state"), lit(2)), lit(1)),
+              "RemoteAccess"),
+           on("AnswerCall", "NextCall")));
+
+  auto main_loop = seq("MainLoop", behaviors(std::move(session)),
+                       arcs(on("Session", lt(ref("call_idx"), lit(5)),
+                               "Session"),
+                            done("Session")));
+
+  auto shutdown = leaf("Shutdown", block(assign("machine_on", lit(0))));
+
+  s.top = seq("Machine", behaviors(std::move(power_on), std::move(main_loop),
+                                   std::move(shutdown)));
+  return s;
+}
+
+}  // namespace specsyn

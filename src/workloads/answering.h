@@ -1,0 +1,23 @@
+// A telephone answering machine — the other canonical SpecCharts example
+// from the Gajski group (used throughout "Specification and Design of
+// Embedded Systems" [5], the book this paper builds on).
+//
+// Unlike the medical system it exercises *user-defined procedures* (DTMF
+// digit matching, voice-sample encoding) and a deeper control hierarchy
+// (power-on -> per-call session loop -> answer / remote-access subtrees),
+// making it the second substantial end-to-end workload for refinement:
+// procedure calls must survive data refinement (in/out argument rewriting)
+// and the nested sequential composites stress guard refinement.
+//
+// Fully sequential and deterministic: every partition/model refinement of it
+// must be functionally equivalent.
+#pragma once
+
+#include "spec/specification.h"
+
+namespace specsyn {
+
+/// Builds the answering machine specification.
+[[nodiscard]] Specification make_answering_machine();
+
+}  // namespace specsyn

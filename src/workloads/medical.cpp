@@ -1,0 +1,168 @@
+#include "workloads/medical.h"
+
+#include "spec/builder.h"
+
+namespace specsyn {
+
+using namespace build;
+
+Specification make_medical_system() {
+  Specification s;
+  s.name = "BladderVolumeMonitor";
+
+  // 14 variables (13 at specification level + the sample index scoped to
+  // the acquisition subsystem).
+  s.vars.push_back(var("status", Type::u8()));
+  s.vars.push_back(var("calib_gain", Type::u16()));
+  s.vars.push_back(var("scan_cnt", Type::u8()));
+  s.vars.push_back(var("echo_sum", Type::u32()));
+  s.vars.push_back(var("echo_peak", Type::u16()));
+  s.vars.push_back(var("wall_front", Type::u16()));
+  s.vars.push_back(var("wall_back", Type::u16()));
+  s.vars.push_back(var("depth", Type::u16()));
+  s.vars.push_back(var("area", Type::u32()));
+  s.vars.push_back(var("volume", Type::u32(), 0, /*observable=*/true));
+  s.vars.push_back(var("threshold", Type::u16()));
+  s.vars.push_back(var("alarm", Type::u8(), 0, /*observable=*/true));
+  s.vars.push_back(var("display_buf", Type::u32(), 0, /*observable=*/true));
+
+  // --- power-on behaviors ----------------------------------------------------
+  auto self_test = leaf(
+      "SelfTest",
+      block(assign("status", lit(1)), assign("threshold", lit(900)),
+            assign("display_buf", lit(0)), assign("echo_sum", lit(0)),
+            assign("wall_front", lit(0)), assign("wall_back", lit(0))));
+
+  auto calibrate = leaf(
+      "Calibrate",
+      block(assign("calib_gain", add(lit(64), mul(ref("status"), lit(4)))),
+            assign("threshold",
+                   add(ref("threshold"), div(ref("calib_gain"), lit(8))))));
+
+  // --- acquisition subsystem ---------------------------------------------------
+  // echo(i) = (i*37 + scan_cnt*13 + 11) % 97 — a deterministic stand-in for
+  // the ultrasound A/D samples.
+  auto echo_expr = [](ExprPtr i) {
+    return mod(add(add(mul(std::move(i), lit(37)),
+                       mul(ref("scan_cnt"), lit(13))),
+                   lit(11)),
+               lit(97));
+  };
+
+  auto sample_echo = leaf(
+      "SampleEcho",
+      block(assign("echo_sum", lit(0)), assign("echo_peak", lit(0)),
+            assign("sample_i", lit(0)),
+            while_(lt(ref("sample_i"), lit(8)),
+                   block(assign("echo_sum",
+                                add(ref("echo_sum"), echo_expr(ref("sample_i")))),
+                         if_(gt(echo_expr(ref("sample_i")), ref("echo_peak")),
+                             block(assign("echo_peak",
+                                          echo_expr(ref("sample_i"))))),
+                         assign("sample_i", add(ref("sample_i"), lit(1)))))));
+
+  auto filter_echo = leaf(
+      "FilterEcho",
+      block(assign("echo_sum",
+                   div(mul(ref("echo_sum"), ref("calib_gain")), lit(64))),
+            assign("echo_peak",
+                   div(mul(ref("echo_peak"), ref("calib_gain")), lit(64))),
+            assign("echo_sum", sub(ref("echo_sum"), ref("sample_i")))));
+
+  auto detect_walls = leaf(
+      "DetectWalls",
+      block(assign("wall_front", add(mod(ref("echo_peak"), lit(50)), lit(10))),
+            assign("wall_back", add(add(ref("wall_front"),
+                                        mod(ref("echo_sum"), lit(40))),
+                                    lit(5))),
+            assign("wall_back",
+                   add(ref("wall_back"), mod(ref("calib_gain"), lit(3))))));
+
+  auto acquire = seq("Acquire", behaviors(std::move(sample_echo),
+                                          std::move(filter_echo),
+                                          std::move(detect_walls)));
+  acquire->vars.push_back(var("sample_i", Type::u8()));
+
+  // --- computation subsystem ---------------------------------------------------
+  auto calc_depth = leaf(
+      "CalcDepth",
+      block(assign("depth", mul(sub(ref("wall_back"), ref("wall_front")),
+                                lit(2)))));
+  auto calc_area = leaf(
+      "CalcArea",
+      block(assign("area", add(div(mul(ref("depth"), ref("depth")), lit(4)),
+                               ref("echo_peak"))),
+            assign("area", add(ref("area"), div(ref("calib_gain"), lit(32))))));
+  auto calc_volume = leaf(
+      "CalcVolume",
+      block(assign("volume", div(mul(ref("area"), ref("depth")), lit(8))),
+            assign("volume", add(ref("volume"), mod(ref("wall_front"),
+                                                    lit(5))))));
+
+  auto compute = seq(
+      "Compute",
+      behaviors(std::move(calc_depth), std::move(calc_area),
+                std::move(calc_volume)),
+      arcs(on("CalcDepth", gt(ref("depth"), lit(0)), "CalcArea")));
+
+  // --- output subsystem ----------------------------------------------------------
+  auto update_display = leaf(
+      "UpdateDisplay",
+      block(assign("display_buf", add(mul(ref("volume"), lit(10)),
+                                      ref("scan_cnt"))),
+            assign("display_buf", add(ref("display_buf"), ref("depth")))));
+
+  auto check_alarm = leaf(
+      "CheckAlarm",
+      block(if_(gt(ref("volume"), ref("threshold")),
+                block(assign("alarm", lit(1))),
+                block(assign("alarm", lit(0)))),
+            if_(gt(ref("echo_peak"), ref("threshold")),
+                block(assign("alarm", bor(ref("alarm"), lit(2)))))));
+
+  auto log_data = leaf(
+      "LogData",
+      block(assign("display_buf", add(ref("display_buf"),
+                                      mod(ref("volume"), lit(16)))),
+            assign("scan_cnt", add(ref("scan_cnt"), lit(1))),
+            assign("status", add(ref("status"), ref("alarm")))));
+
+  // --- scan loop ----------------------------------------------------------------
+  auto scan = seq(
+      "Scan",
+      behaviors(std::move(acquire), std::move(compute),
+                std::move(update_display), std::move(check_alarm),
+                std::move(log_data)),
+      arcs(on("Acquire", gt(ref("echo_peak"), lit(0)), "Compute"),
+           on("Compute", gt(ref("volume"), lit(0)), "UpdateDisplay"),
+           on("CheckAlarm", eq(ref("alarm"), lit(1)), "LogData")));
+
+  auto main_loop =
+      seq("MainLoop", behaviors(std::move(scan)),
+          arcs(on("Scan", lt(ref("scan_cnt"), lit(3)), "Scan"),
+               done("Scan")));
+
+  s.top = seq("MedSystem",
+              behaviors(std::move(self_test), std::move(calibrate),
+                        std::move(main_loop)),
+              arcs(on("SelfTest", eq(ref("status"), lit(1)), "Calibrate")));
+  return s;
+}
+
+PartitionerResult make_medical_design(const Specification& spec,
+                                      const AccessGraph& graph, int design) {
+  PartitionerOptions opts;
+  // Keep both chips meaningfully loaded (the paper's designs use both), even
+  // when chasing an extreme local/global ratio.
+  opts.balance_weight = 2.0;
+  switch (design) {
+    case 1: opts.goal = RatioGoal::Balanced; break;
+    case 2: opts.goal = RatioGoal::MoreLocal; break;
+    case 3: opts.goal = RatioGoal::MoreGlobal; break;
+    default:
+      throw SpecError("medical design must be 1, 2 or 3");
+  }
+  return make_ratio_partition(spec, graph, Allocation::proc_plus_asic(), opts);
+}
+
+}  // namespace specsyn

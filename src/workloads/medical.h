@@ -1,0 +1,32 @@
+// Reconstruction of the paper's evaluation workload: "a real-time embedded
+// medical system used to measure a patient's bladder volume" [8], described
+// in SpecCharts with 16 behaviors, 14 variables and 52 derived data-access
+// channels (Section 5).
+//
+// The original SpecCharts source is not published; this reconstruction
+// matches every published summary statistic (16 behaviors, 14 variables,
+// 52 (behavior, variable) data-access channels — asserted by the test
+// suite) and the system structure the application implies: self-test and
+// calibration, a scan loop that samples ultrasound echoes, filters them,
+// detects bladder walls, computes depth/area/volume, updates the display,
+// checks the alarm threshold and logs — all with deterministic arithmetic so
+// profiling is exactly reproducible.
+#pragma once
+
+#include "graph/access_graph.h"
+#include "partition/partitioner.h"
+#include "spec/specification.h"
+
+namespace specsyn {
+
+/// Builds the medical (bladder volume) specification.
+[[nodiscard]] Specification make_medical_system();
+
+/// The paper's three experimental partitions over PROC + ASIC:
+///   design 1: local ≈ global variables, 2: local > global, 3: local < global.
+/// `spec`/`graph` must outlive the returned partition.
+[[nodiscard]] PartitionerResult make_medical_design(const Specification& spec,
+                                                    const AccessGraph& graph,
+                                                    int design);
+
+}  // namespace specsyn

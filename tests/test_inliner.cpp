@@ -1,0 +1,142 @@
+// Unit tests for the procedure-call inliner.
+#include <gtest/gtest.h>
+
+#include "printer/printer.h"
+#include "refine/inliner.h"
+#include "spec/builder.h"
+#include "test_util.h"
+
+namespace specsyn {
+namespace {
+
+using namespace build;
+
+Specification spec_with_proc() {
+  Specification s;
+  s.name = "I";
+  s.vars = {var("x", Type::u16(), 4, true), var("y", Type::u16(), 0, true)};
+  Procedure p;
+  p.name = "AddN";
+  p.params.push_back(in_param("a", Type::u16()));
+  p.params.push_back(in_param("n", Type::u16()));
+  p.params.push_back(out_param("r", Type::u16()));
+  p.locals.emplace_back("t", Type::u16());
+  p.body = block(assign("t", add(ref("a"), ref("n"))), assign("r", ref("t")));
+  s.procedures.push_back(std::move(p));
+  s.top = leaf("Main", block(call("AddN", args(ref("x"), lit(10), ref("y"))),
+                             call("AddN", args(ref("y"), lit(1), ref("x")))));
+  return s;
+}
+
+TEST(Inliner, ExpandsAndPreservesSemantics) {
+  Specification s = spec_with_proc();
+  SimResult before = testing::run(s);
+
+  Specification inlined = s.clone();
+  size_t n = inline_procedure_calls(
+      inlined, [](const std::string& p) { return p == "AddN"; });
+  EXPECT_EQ(n, 2u);
+  EXPECT_TRUE(inlined.procedures.empty());  // fully inlined -> removed
+  testing::expect_valid(inlined);
+  EXPECT_EQ(print(inlined).find("call "), std::string::npos);
+
+  SimResult after = testing::run(inlined);
+  EXPECT_EQ(before.final_vars.at("x"), after.final_vars.at("x"));
+  EXPECT_EQ(before.final_vars.at("y"), after.final_vars.at("y"));
+  EXPECT_EQ(after.final_vars.at("y"), 14u);
+  EXPECT_EQ(after.final_vars.at("x"), 15u);
+}
+
+TEST(Inliner, LocalsHoistedOncePerBehaviorAndReset) {
+  Specification s = spec_with_proc();
+  inline_procedure_calls(s, [](const std::string&) { return true; });
+  const Behavior* main_b = s.find_behavior("Main");
+  ASSERT_NE(main_b, nullptr);
+  // Two call sites share one hoisted local...
+  size_t hoisted = 0;
+  for (const VarDecl& v : main_b->vars) {
+    if (v.name == "Main_AddN_t") ++hoisted;
+  }
+  EXPECT_EQ(hoisted, 1u);
+  // ...and each site re-initializes it to 0 first.
+  const std::string text = print(*main_b);
+  size_t resets = 0, pos = 0;
+  while ((pos = text.find("Main_AddN_t := 0;", pos)) != std::string::npos) {
+    ++resets;
+    pos += 1;
+  }
+  EXPECT_EQ(resets, 2u);
+}
+
+TEST(Inliner, PredicateSelectsProcedures) {
+  Specification s = spec_with_proc();
+  Procedure keep;
+  keep.name = "Keep";
+  keep.params.push_back(out_param("r", Type::u16()));
+  keep.body = block(assign("r", lit(7)));
+  s.procedures.push_back(std::move(keep));
+  s.top->body.push_back(call("Keep", args(ref("y"))));
+
+  inline_procedure_calls(s, [](const std::string& p) { return p == "AddN"; });
+  ASSERT_EQ(s.procedures.size(), 1u);
+  EXPECT_EQ(s.procedures[0].name, "Keep");
+  EXPECT_NE(print(s).find("call Keep"), std::string::npos);
+  testing::expect_valid(s);
+}
+
+TEST(Inliner, InArgExpressionsSubstitutedVerbatim) {
+  Specification s;
+  s.name = "I2";
+  s.vars = {var("a", Type::u16(), 3), var("r", Type::u16(), 0, true)};
+  Procedure p;
+  p.name = "Sq";
+  p.params.push_back(in_param("v", Type::u16()));
+  p.params.push_back(out_param("o", Type::u16()));
+  p.body = block(assign("o", mul(ref("v"), ref("v"))));
+  s.procedures.push_back(std::move(p));
+  s.top = leaf("Main", block(call("Sq", args(add(ref("a"), lit(1)), ref("r")))));
+  SimResult before = testing::run(s);
+  inline_procedure_calls(s, [](const std::string&) { return true; });
+  testing::expect_valid(s);
+  SimResult after = testing::run(s);
+  EXPECT_EQ(before.final_vars.at("r"), 16u);
+  EXPECT_EQ(after.final_vars.at("r"), 16u);
+  // The expression was substituted into both operand positions.
+  EXPECT_NE(print(s).find("(a + 1) * (a + 1)"), std::string::npos);
+}
+
+TEST(Inliner, CallsInsideControlFlowExpanded) {
+  Specification s;
+  s.name = "I3";
+  s.vars = {var("x", Type::u16(), 0, true), var("i", Type::u16())};
+  Procedure p;
+  p.name = "Inc";
+  p.params.push_back(out_param("o", Type::u16()));
+  p.body = block(assign("o", lit(1)));
+  s.procedures.push_back(std::move(p));
+  s.top = leaf("Main",
+               block(while_(lt(ref("i"), lit(3)),
+                            block(if_(eq(ref("x"), lit(0)),
+                                      block(call("Inc", args(ref("x")))),
+                                      block(nop())),
+                                  assign("i", add(ref("i"), lit(1)))))));
+  size_t n = inline_procedure_calls(s, [](const std::string&) { return true; });
+  EXPECT_EQ(n, 1u);
+  testing::expect_valid(s);
+  SimResult r = testing::run(s);
+  EXPECT_EQ(r.final_vars.at("x"), 1u);
+  EXPECT_EQ(r.final_vars.at("i"), 3u);
+}
+
+TEST(Inliner, UnknownCalleeThrows) {
+  Specification s;
+  s.name = "I4";
+  s.vars = {var("x")};
+  s.top = leaf("Main", block(call("Ghost", args())));
+  EXPECT_THROW(
+      inline_procedure_calls(s, [](const std::string&) { return true; }),
+      SpecError);
+}
+
+}  // namespace
+}  // namespace specsyn

@@ -1,0 +1,146 @@
+// Property/fuzz tests for the parser and printer:
+//   * random expression trees round-trip exactly through print -> parse,
+//   * mutated specification text never crashes the lexer/parser — it either
+//     parses (and then validates or not) or reports diagnostics.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "parser/parser.h"
+#include "printer/printer.h"
+#include "spec/builder.h"
+#include "workloads/medical.h"
+#include "test_util.h"
+
+namespace specsyn {
+namespace {
+
+using namespace build;
+
+ExprPtr random_expr(std::mt19937_64& rng, int depth) {
+  auto pick = [&](size_t n) {
+    return std::uniform_int_distribution<size_t>(0, n - 1)(rng);
+  };
+  if (depth <= 0 || pick(4) == 0) {
+    if (pick(2) == 0) return lit(pick(1000));
+    static const char* names[] = {"alpha", "b2", "c_3", "dd"};
+    return ref(names[pick(4)]);
+  }
+  if (pick(5) == 0) {
+    const UnOp ops[] = {UnOp::LogicalNot, UnOp::BitNot, UnOp::Neg};
+    return Expr::unary(ops[pick(3)], random_expr(rng, depth - 1));
+  }
+  const BinOp ops[] = {BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div,
+                       BinOp::Mod, BinOp::And, BinOp::Or, BinOp::Xor,
+                       BinOp::Shl, BinOp::Shr, BinOp::Lt, BinOp::Le,
+                       BinOp::Gt, BinOp::Ge, BinOp::Eq, BinOp::Ne,
+                       BinOp::LogicalAnd, BinOp::LogicalOr};
+  return Expr::binary(ops[pick(18)], random_expr(rng, depth - 1),
+                      random_expr(rng, depth - 1));
+}
+
+class ExprRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExprRoundTrip, PrintParsePrintIsFixpoint) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    ExprPtr e = random_expr(rng, 5);
+    const std::string text = print(*e);
+    DiagnosticSink diags;
+    ExprPtr reparsed = parse_expr(text, diags);
+    ASSERT_NE(reparsed, nullptr) << text << "\n" << diags.str();
+    EXPECT_EQ(print(*reparsed), text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ParserFuzz, MutatedMedicalTextNeverCrashes) {
+  const std::string base = print(make_medical_system());
+  std::mt19937_64 rng(99);
+  auto pick = [&](size_t n) {
+    return std::uniform_int_distribution<size_t>(0, n - 1)(rng);
+  };
+  const char junk[] = ";:{}()<>=!&|+-*/%^~ abc123\nwhile if spec";
+  int parsed_ok = 0, rejected = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::string text = base;
+    const size_t edits = 1 + pick(4);
+    for (size_t e = 0; e < edits; ++e) {
+      const size_t pos = pick(text.size());
+      switch (pick(3)) {
+        case 0: text.erase(pos, 1 + pick(3)); break;
+        case 1: text.insert(pos, 1, junk[pick(sizeof(junk) - 2)]); break;
+        case 2: text[pos] = junk[pick(sizeof(junk) - 2)]; break;
+      }
+    }
+    DiagnosticSink diags;
+    auto spec = parse_spec(text, diags);
+    if (spec.has_value()) {
+      ++parsed_ok;
+      // A successful parse must at least be printable; validation may fail.
+      const std::string reprint = print(*spec);
+      EXPECT_FALSE(reprint.empty());
+      DiagnosticSink vd;
+      (void)validate(*spec, vd);
+    } else {
+      ++rejected;
+      EXPECT_TRUE(diags.has_errors());  // rejection always carries an error
+    }
+  }
+  // Both outcomes occur across 200 mutations (sanity of the fuzzer itself).
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(parsed_ok + rejected, 199);
+}
+
+TEST(ParserFuzz, RandomBytesNeverCrashLexer) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 100; ++round) {
+    std::string text;
+    const size_t len = 1 + (rng() % 300);
+    for (size_t i = 0; i < len; ++i) {
+      text += static_cast<char>(32 + rng() % 95);
+    }
+    DiagnosticSink diags;
+    (void)parse_spec(text, diags);  // must not crash; outcome irrelevant
+  }
+}
+
+TEST(ParserFuzz, DeepNestingParses) {
+  // 60 nested parens and 60 nested if blocks: recursion depth sanity.
+  std::string expr_text(60, '(');
+  expr_text += "1";
+  expr_text += std::string(60, ')');
+  DiagnosticSink d1;
+  ExprPtr e = parse_expr(expr_text, d1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(print(*e), "1");
+
+  std::string spec_text = "spec Deep;\nvar x : int8;\nbehavior T : leaf {\n";
+  for (int i = 0; i < 60; ++i) spec_text += "if x < 1 {\n";
+  spec_text += "x := 1;\n";
+  for (int i = 0; i < 60; ++i) spec_text += "}\n";
+  spec_text += "}\n";
+  DiagnosticSink d2;
+  auto spec = parse_spec(spec_text, d2);
+  ASSERT_TRUE(spec.has_value()) << d2.str();
+  DiagnosticSink vd;
+  EXPECT_TRUE(validate(*spec, vd));
+}
+
+TEST(ParserFuzz, ErrorLocationsPointAtOffendingLine) {
+  const char* text =
+      "spec S;\n"
+      "var x : int8;\n"
+      "behavior T : leaf {\n"
+      "  x := @;\n"
+      "}\n";
+  DiagnosticSink diags;
+  EXPECT_FALSE(parse_spec(text, diags).has_value());
+  ASSERT_FALSE(diags.all().empty());
+  EXPECT_EQ(diags.all()[0].loc.line, 4u);
+}
+
+}  // namespace
+}  // namespace specsyn

@@ -1,0 +1,203 @@
+// Unit tests for allocation, partition assignment, variable classification
+// and the ratio-driven partitioner.
+#include <gtest/gtest.h>
+
+#include "partition/partitioner.h"
+#include "spec/builder.h"
+#include "test_util.h"
+
+namespace specsyn {
+namespace {
+
+using namespace build;
+
+TEST(Allocation, Factories) {
+  Allocation a = Allocation::proc_plus_asic();
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.components[0].kind, ComponentKind::Processor);
+  EXPECT_EQ(a.components[1].kind, ComponentKind::Asic);
+  EXPECT_EQ(a.find("ASIC"), 1u);
+  EXPECT_EQ(a.find("nope"), SIZE_MAX);
+
+  Allocation b = Allocation::asics(3);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.components[2].name, "ASIC3");
+}
+
+TEST(Partition, BehaviorInheritance) {
+  Specification s = testing::abc_spec(3);
+  Partition p(s, Allocation::proc_plus_asic());
+  // Unpinned: everything on component 0.
+  EXPECT_EQ(p.component_of_behavior("Main"), 0u);
+  EXPECT_EQ(p.component_of_behavior("B"), 0u);
+  p.assign_behavior("B", 1);
+  EXPECT_EQ(p.component_of_behavior("B"), 1u);
+  EXPECT_EQ(p.component_of_behavior("A"), 0u);
+  EXPECT_TRUE(p.is_cut_behavior("B"));
+  EXPECT_FALSE(p.is_cut_behavior("A"));
+  EXPECT_FALSE(p.is_cut_behavior("Main"));
+  auto cuts = p.cut_behaviors();
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0], "B");
+}
+
+TEST(Partition, SubtreeInheritsPin) {
+  Specification s;
+  s.name = "T";
+  s.vars = {var("x")};
+  auto inner = seq("Inner", behaviors(leaf("L1", block(assign("x", lit(1)))),
+                                      leaf("L2", block(nop()))));
+  s.top = seq("Top", behaviors(std::move(inner), leaf("L3", block(nop()))));
+  Partition p(s, Allocation::proc_plus_asic());
+  p.assign_behavior("Inner", 1);
+  EXPECT_EQ(p.component_of_behavior("L1"), 1u);
+  EXPECT_EQ(p.component_of_behavior("L2"), 1u);
+  EXPECT_EQ(p.component_of_behavior("L3"), 0u);
+  // Only the subtree root is a cut.
+  auto cuts = p.cut_behaviors();
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0], "Inner");
+}
+
+TEST(Partition, UnknownNamesThrow) {
+  Specification s = testing::abc_spec(3);
+  Partition p(s, Allocation::proc_plus_asic());
+  EXPECT_THROW(p.assign_behavior("ghost", 0), SpecError);
+  EXPECT_THROW(p.assign_behavior("B", 5), SpecError);
+  EXPECT_THROW(p.assign_var("ghost", 0), SpecError);
+  EXPECT_THROW((void)p.component_of_var("ghost"), SpecError);
+}
+
+TEST(Partition, VarPlacementAndClassification) {
+  Specification s = testing::abc_spec(3);
+  AccessGraph g = build_access_graph(s);
+  Partition p(s, Allocation::proc_plus_asic());
+  p.assign_behavior("B", 1);
+  p.auto_assign_vars(g);
+  // x is accessed by Main/A (comp 0) and B (comp 1): global wherever placed.
+  auto placements = p.classify_vars(g);
+  const VarPlacement* x = nullptr;
+  const VarPlacement* r = nullptr;
+  for (const auto& vp : placements) {
+    if (vp.var == "x") x = &vp;
+    if (vp.var == "r") r = &vp;
+  }
+  ASSERT_NE(x, nullptr);
+  EXPECT_TRUE(x->is_global);
+  EXPECT_EQ(x->accessor_components.size(), 2u);
+  // r is written by B (comp 1) and C (comp 0): also global.
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->is_global);
+}
+
+TEST(Partition, LocalClassification) {
+  Specification s;
+  s.name = "T";
+  s.vars = {var("a"), var("b")};
+  s.top = seq("Top", behaviors(leaf("L1", block(assign("a", lit(1)))),
+                               leaf("L2", block(assign("b", lit(2))))));
+  AccessGraph g = build_access_graph(s);
+  Partition p(s, Allocation::proc_plus_asic());
+  p.assign_behavior("L2", 1);
+  p.auto_assign_vars(g);
+  EXPECT_EQ(p.component_of_var("a"), 0u);
+  EXPECT_EQ(p.component_of_var("b"), 1u);
+  auto [local, global] = p.local_global_counts(g);
+  EXPECT_EQ(local, 2u);
+  EXPECT_EQ(global, 0u);
+}
+
+TEST(Partition, MisplacedVarBecomesGlobal) {
+  Specification s;
+  s.name = "T";
+  s.vars = {var("a")};
+  s.top = seq("Top", behaviors(leaf("L1", block(assign("a", lit(1)))),
+                               leaf("L2", block(nop()))));
+  AccessGraph g = build_access_graph(s);
+  Partition p(s, Allocation::proc_plus_asic());
+  p.assign_var("a", 1);  // stored away from its only accessor
+  auto placements = p.classify_vars(g);
+  EXPECT_TRUE(placements[0].is_global);
+}
+
+TEST(Partition, CheckReportsProblems) {
+  Specification s = testing::abc_spec(3);
+  Partition p(s, Allocation::proc_plus_asic());
+  DiagnosticSink diags;
+  EXPECT_TRUE(p.check(diags));
+  // component 1 hosts nothing -> warning but not error
+  EXPECT_NE(diags.str().find("hosts no behaviors"), std::string::npos);
+}
+
+TEST(Partitioner, GoalsProduceRequestedRatios) {
+  Specification s = testing::medical_like_spec();
+  AccessGraph g = build_access_graph(s);
+
+  PartitionerOptions balanced;
+  balanced.goal = RatioGoal::Balanced;
+  auto r1 = make_ratio_partition(s, g, Allocation::proc_plus_asic(), balanced);
+
+  PartitionerOptions more_local;
+  more_local.goal = RatioGoal::MoreLocal;
+  auto r2 = make_ratio_partition(s, g, Allocation::proc_plus_asic(), more_local);
+
+  PartitionerOptions more_global;
+  more_global.goal = RatioGoal::MoreGlobal;
+  auto r3 =
+      make_ratio_partition(s, g, Allocation::proc_plus_asic(), more_global);
+
+  EXPECT_GT(r2.local_vars, r2.global_vars);
+  EXPECT_GT(r2.global_vars, 0u);
+  EXPECT_GT(r3.global_vars, r3.local_vars);
+  EXPECT_LE(static_cast<size_t>(
+                std::abs(static_cast<long>(r1.local_vars) -
+                         static_cast<long>(r1.global_vars))),
+            static_cast<size_t>(
+                std::abs(static_cast<long>(r2.local_vars) -
+                         static_cast<long>(r2.global_vars))));
+}
+
+TEST(Partitioner, DeterministicAcrossRuns) {
+  Specification s = testing::medical_like_spec();
+  AccessGraph g = build_access_graph(s);
+  PartitionerOptions opts;
+  opts.goal = RatioGoal::Balanced;
+  auto a = make_ratio_partition(s, g, Allocation::proc_plus_asic(), opts);
+  auto b = make_ratio_partition(s, g, Allocation::proc_plus_asic(), opts);
+  EXPECT_EQ(a.local_vars, b.local_vars);
+  EXPECT_EQ(a.global_vars, b.global_vars);
+  for (const char* bn : {"L0", "L1", "L2", "L3"}) {
+    if (s.find_behavior(bn)) {
+      EXPECT_EQ(a.partition.component_of_behavior(bn),
+                b.partition.component_of_behavior(bn));
+    }
+  }
+}
+
+TEST(Partitioner, GreedyPathForManyComponents) {
+  Specification s = testing::medical_like_spec();
+  AccessGraph g = build_access_graph(s);
+  PartitionerOptions opts;
+  opts.goal = RatioGoal::Balanced;
+  auto r = make_ratio_partition(s, g, Allocation::asics(3), opts);
+  DiagnosticSink diags;
+  EXPECT_TRUE(r.partition.check(diags)) << diags.str();
+}
+
+TEST(Partitioner, RejectsDegenerateInputs) {
+  Specification s = testing::abc_spec(3);
+  AccessGraph g = build_access_graph(s);
+  EXPECT_THROW(
+      make_ratio_partition(s, g, Allocation::asics(1), PartitionerOptions{}),
+      SpecError);
+  Specification tiny;
+  tiny.name = "T";
+  tiny.top = build::leaf("Solo", build::block(build::nop()));
+  AccessGraph tg = build_access_graph(tiny);
+  EXPECT_THROW(make_ratio_partition(tiny, tg, Allocation::proc_plus_asic(),
+                                    PartitionerOptions{}),
+               SpecError);
+}
+
+}  // namespace
+}  // namespace specsyn

@@ -1,0 +1,582 @@
+// Tests for the refinement core: address map, bus plan, control/data/
+// architecture refinement, and end-to-end functional equivalence of all four
+// implementation models.
+#include <gtest/gtest.h>
+
+#include "printer/printer.h"
+#include "refine/refiner.h"
+#include "sim/equivalence.h"
+#include "spec/builder.h"
+#include "test_util.h"
+
+namespace specsyn {
+namespace {
+
+using namespace build;
+
+// A two-component partition of the abc example: B moved to the ASIC.
+struct AbcSetup {
+  Specification spec;
+  AccessGraph graph;
+  Partition part;
+
+  explicit AbcSetup(uint64_t x_seed)
+      : spec(testing::abc_spec(x_seed)),
+        graph(build_access_graph(spec)),
+        part(spec, Allocation::proc_plus_asic()) {
+    // The paper's Figure 1(c): B and x on the ASIC, A and C on the PROC.
+    part.assign_behavior("B", 1);
+    part.assign_var("x", 1);
+    part.auto_assign_vars(graph);
+  }
+};
+
+TEST(AddressMap, ContiguousPerComponent) {
+  AbcSetup s(3);
+  AddressMap m(s.part, ProtocolStyle::FullHandshake);
+  // Two variables -> two slots; both addressable.
+  EXPECT_EQ(m.total_slots(), 2u);
+  EXPECT_NE(m.addr_of("x"), m.addr_of("r"));
+  EXPECT_EQ(m.beats_of("x"), 1u);
+  uint64_t lo = 0, hi = 0;
+  bool any = m.range_of(0, lo, hi) || m.range_of(1, lo, hi);
+  EXPECT_TRUE(any);
+  EXPECT_THROW((void)m.addr_of("ghost"), SpecError);
+}
+
+TEST(AddressMap, ByteSerialBeats) {
+  Specification s;
+  s.name = "W";
+  s.vars = {var("w8", Type::u8()), var("w16", Type::u16()),
+            var("w20", Type::of_width(20))};
+  s.top = leaf("L", block(assign("w8", lit(1)), assign("w16", lit(2)),
+                          assign("w20", lit(3))));
+  Partition p(s, Allocation::proc_plus_asic());
+  AddressMap m(p, ProtocolStyle::ByteSerial);
+  EXPECT_EQ(m.beats_of("w8"), 1u);
+  EXPECT_EQ(m.beats_of("w16"), 2u);
+  EXPECT_EQ(m.beats_of("w20"), 3u);
+  EXPECT_EQ(m.total_slots(), 6u);
+  EXPECT_EQ(m.data_type(), Type::u8());
+}
+
+TEST(BusPlan, MaxBusFormulas) {
+  EXPECT_EQ(BusPlan::max_buses(ImplModel::Model1, 2), 1u);
+  EXPECT_EQ(BusPlan::max_buses(ImplModel::Model2, 2), 3u);
+  EXPECT_EQ(BusPlan::max_buses(ImplModel::Model3, 2), 6u);
+  EXPECT_EQ(BusPlan::max_buses(ImplModel::Model4, 2), 5u);
+  EXPECT_EQ(BusPlan::max_buses(ImplModel::Model3, 4), 20u);
+}
+
+TEST(BusPlan, ModelStructures) {
+  Specification s = testing::medical_like_spec();
+  AccessGraph g = build_access_graph(s);
+  Partition part(s, Allocation::proc_plus_asic());
+  // L0,L1 on PROC; L2..L5 on ASIC: e,f,g cross; a,b local PROC; c,d,h local
+  // ASIC (after auto assignment).
+  part.assign_behavior("L2", 1);
+  part.assign_behavior("L3", 1);
+  part.assign_behavior("L4", 1);
+  part.assign_behavior("L5", 1);
+  part.auto_assign_vars(g);
+
+  auto count_role = [](const BusPlan& p, BusRole r) {
+    size_t n = 0;
+    for (const auto& b : p.buses()) {
+      if (b.role == r) ++n;
+    }
+    return n;
+  };
+
+  BusPlan m1 = BusPlan::build(part, g, ImplModel::Model1);
+  EXPECT_EQ(m1.buses().size(), 1u);
+  EXPECT_EQ(m1.memories().size(), 2u);
+  EXPECT_EQ(m1.route(0, "e"), std::vector<std::string>{"gbus"});
+  EXPECT_EQ(m1.route(1, "a"), std::vector<std::string>{"gbus"});
+
+  BusPlan m2 = BusPlan::build(part, g, ImplModel::Model2);
+  EXPECT_LE(m2.buses().size(), BusPlan::max_buses(ImplModel::Model2, 2));
+  EXPECT_EQ(count_role(m2, BusRole::SharedGlobal), 1u);
+  EXPECT_EQ(count_role(m2, BusRole::Local), 2u);
+  // Local var a routes to PROC's local bus; global e to the shared bus.
+  EXPECT_EQ(m2.route(0, "a").front(), "lbus_PROC");
+  EXPECT_EQ(m2.route(0, "e").front(), "gbus");
+  EXPECT_EQ(m2.route(1, "e").front(), "gbus");
+
+  BusPlan m3 = BusPlan::build(part, g, ImplModel::Model3);
+  EXPECT_LE(m3.buses().size(), BusPlan::max_buses(ImplModel::Model3, 2));
+  EXPECT_EQ(count_role(m3, BusRole::Local), 2u);
+  EXPECT_GE(count_role(m3, BusRole::Dedicated), 2u);
+  // Same global variable, different accessor -> different dedicated bus.
+  EXPECT_NE(m3.route(0, "e").front(), m3.route(1, "e").front());
+
+  BusPlan m4 = BusPlan::build(part, g, ImplModel::Model4);
+  EXPECT_LE(m4.buses().size(), BusPlan::max_buses(ImplModel::Model4, 2));
+  EXPECT_EQ(count_role(m4, BusRole::Inter), 1u);
+  EXPECT_EQ(m4.memories().size(), 2u);  // one local memory per component
+  // Remote access crosses three buses; local access stays on one.
+  const size_t owner_e = part.component_of_var("e");
+  const size_t other_e = 1 - owner_e;
+  EXPECT_EQ(m4.route(other_e, "e").size(), 3u);
+  EXPECT_EQ(m4.route(owner_e, "e").size(), 1u);
+}
+
+TEST(BusPlan, PaperMemoryModuleCounts) {
+  // Section 5: "in Model1 and Model4, two memory modules are required...
+  // in Model2 and Model3, four memory modules are required."
+  Specification s = testing::medical_like_spec();
+  AccessGraph g = build_access_graph(s);
+  Partition part(s, Allocation::proc_plus_asic());
+  part.assign_behavior("L2", 1);
+  part.assign_behavior("L3", 1);
+  part.assign_behavior("L4", 1);
+  part.assign_behavior("L5", 1);
+  // Split global-variable ownership across both components (the paper's
+  // example owns globals on both sides).
+  part.assign_var("e", 1);
+  part.auto_assign_vars(g);
+  EXPECT_EQ(BusPlan::build(part, g, ImplModel::Model1).memories().size(), 2u);
+  EXPECT_EQ(BusPlan::build(part, g, ImplModel::Model2).memories().size(), 4u);
+  EXPECT_EQ(BusPlan::build(part, g, ImplModel::Model3).memories().size(), 4u);
+  EXPECT_EQ(BusPlan::build(part, g, ImplModel::Model4).memories().size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end refinement
+// ---------------------------------------------------------------------------
+
+RefineConfig config_for(ImplModel m,
+                        ProtocolStyle p = ProtocolStyle::FullHandshake,
+                        LeafScheme l = LeafScheme::LoopLeaf) {
+  RefineConfig cfg;
+  cfg.model = m;
+  cfg.protocol = p;
+  cfg.leaf_scheme = l;
+  return cfg;
+}
+
+RefineConfig config_proc_mode(ImplModel m) {
+  RefineConfig cfg = config_for(m);
+  cfg.inline_protocols = false;  // keep transfers as calls for inspection
+  return cfg;
+}
+
+class RefineAllModels : public ::testing::TestWithParam<ImplModel> {};
+
+TEST_P(RefineAllModels, AbcEquivalence) {
+  for (uint64_t seed : {0u, 1u, 3u}) {
+    AbcSetup s(seed);
+    RefineResult r = refine(s.part, s.graph, config_for(GetParam()));
+    EquivalenceReport rep = check_equivalence(s.spec, r.refined);
+    EXPECT_TRUE(rep.equivalent)
+        << to_string(GetParam()) << " seed " << seed << ": " << rep.summary();
+  }
+}
+
+TEST_P(RefineAllModels, RefinedSpecIsValidAndLarger) {
+  AbcSetup s(3);
+  RefineResult r = refine(s.part, s.graph, config_for(GetParam()));
+  DiagnosticSink diags;
+  EXPECT_TRUE(validate(r.refined, diags)) << diags.str();
+  EXPECT_GT(count_lines(print(r.refined)), count_lines(print(s.spec)));
+}
+
+TEST_P(RefineAllModels, BusCountWithinPaperBound) {
+  AbcSetup s(3);
+  RefineResult r = refine(s.part, s.graph, config_for(GetParam()));
+  EXPECT_LE(r.stats.buses, BusPlan::max_buses(GetParam(), 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, RefineAllModels,
+                         ::testing::Values(ImplModel::Model1, ImplModel::Model2,
+                                           ImplModel::Model3,
+                                           ImplModel::Model4),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(ControlRefine, StubAndServerGenerated) {
+  AbcSetup s(3);
+  RefineResult r = refine(s.part, s.graph, config_for(ImplModel::Model1));
+  // The PROC side gets B_CTRL in Main; the ASIC side hosts B_NEW.
+  EXPECT_NE(r.refined.find_behavior("B_CTRL"), nullptr);
+  EXPECT_NE(r.refined.find_behavior("B_NEW"), nullptr);
+  EXPECT_NE(r.refined.find_signal("B_start"), nullptr);
+  EXPECT_NE(r.refined.find_signal("B_done"), nullptr);
+  // Transitions updated to reference the stub.
+  const Behavior* main_b = r.refined.find_behavior("Main");
+  ASSERT_NE(main_b, nullptr);
+  bool stub_arc = false;
+  for (const Transition& t : main_b->transitions) {
+    if (t.to == "B_CTRL") stub_arc = true;
+    EXPECT_NE(t.to, "B");
+  }
+  EXPECT_TRUE(stub_arc);
+  EXPECT_EQ(r.stats.moved_behaviors, 1u);
+  EXPECT_EQ(r.stats.control_signals, 2u);
+}
+
+TEST(ControlRefine, WrapperSchemeForLeaf) {
+  AbcSetup s(3);
+  RefineResult r = refine(
+      s.part, s.graph,
+      config_for(ImplModel::Model1, ProtocolStyle::FullHandshake,
+                 LeafScheme::WrapperSeq));
+  // Figure 4(c): B_NEW is a sequential composite with WAIT/SETDONE leaves
+  // and the original B inside.
+  const Behavior* b_new = r.refined.find_behavior("B_NEW");
+  ASSERT_NE(b_new, nullptr);
+  EXPECT_EQ(b_new->kind, BehaviorKind::Sequential);
+  EXPECT_NE(r.refined.find_behavior("B_WAIT"), nullptr);
+  EXPECT_NE(r.refined.find_behavior("B_SETDONE"), nullptr);
+  EXPECT_NE(r.refined.find_behavior("B"), nullptr);
+  EquivalenceReport rep = check_equivalence(s.spec, r.refined);
+  EXPECT_TRUE(rep.equivalent) << rep.summary();
+}
+
+TEST(ControlRefine, NonLeafCutUsesWrapper) {
+  // Move a composite subtree: always scheme 4(c).
+  Specification s;
+  s.name = "NL";
+  s.vars = {var("x", Type::u16(), 0, true)};
+  auto sub = seq("Sub", behaviors(leaf("S1", block(assign("x", lit(7)))),
+                                  leaf("S2", block(assign("x", add(ref("x"),
+                                                                   lit(1)))))));
+  s.top = seq("Top", behaviors(leaf("Pre", block(assign("x", lit(1)))),
+                               std::move(sub),
+                               leaf("Post", block(assign("x",
+                                                         mul(ref("x"),
+                                                             lit(2)))))));
+  AccessGraph g = build_access_graph(s);
+  Partition part(s, Allocation::proc_plus_asic());
+  part.assign_behavior("Sub", 1);
+  part.auto_assign_vars(g);
+  RefineResult r = refine(part, g, config_for(ImplModel::Model1));
+  const Behavior* sub_new = r.refined.find_behavior("Sub_NEW");
+  ASSERT_NE(sub_new, nullptr);
+  EXPECT_EQ(sub_new->kind, BehaviorKind::Sequential);
+  EquivalenceReport rep = check_equivalence(s, r.refined);
+  EXPECT_TRUE(rep.equivalent) << rep.summary();
+  EXPECT_EQ(rep.refined_result.final_vars.at("x"), 16u);
+}
+
+TEST(ControlRefine, CutBehaviorReinvokedInLoop) {
+  // The 4-phase B_CTRL handshake must support repeated invocations: the cut
+  // behavior sits inside a looping composite.
+  Specification s;
+  s.name = "Loop";
+  s.vars = {var("n", Type::u8()), var("acc", Type::u16(), 0, true)};
+  auto body = leaf("Work", block(assign("acc", add(ref("acc"), lit(5)))));
+  auto step = leaf("Step", block(assign("n", add(ref("n"), lit(1)))));
+  s.top = seq("Top", behaviors(std::move(body), std::move(step)),
+              arcs(on("Step", lt(ref("n"), lit(4)), "Work"), done("Step")));
+  AccessGraph g = build_access_graph(s);
+  Partition part(s, Allocation::proc_plus_asic());
+  part.assign_behavior("Work", 1);
+  part.auto_assign_vars(g);
+  for (ImplModel m : {ImplModel::Model1, ImplModel::Model4}) {
+    RefineResult r = refine(part, g, config_for(m));
+    EquivalenceReport rep = check_equivalence(s, r.refined);
+    EXPECT_TRUE(rep.equivalent) << to_string(m) << ": " << rep.summary();
+    EXPECT_EQ(rep.refined_result.final_vars.at("acc"), 20u);
+  }
+}
+
+TEST(DataRefine, LeafAccessRewritten) {
+  // Figure 5: x := x + 5 becomes receive/compute/send via tmp.
+  Specification s;
+  s.name = "D";
+  s.vars = {var("x", Type::u16(), 1, true)};
+  s.top = seq("Top", behaviors(leaf("A", block(assign("x", add(ref("x"),
+                                                               lit(5))))),
+                               leaf("B", block(assign("x", mul(ref("x"),
+                                                               lit(3)))))));
+  AccessGraph g = build_access_graph(s);
+  Partition part(s, Allocation::proc_plus_asic());
+  part.assign_behavior("B", 1);
+  part.auto_assign_vars(g);
+  RefineResult r = refine(part, g, config_proc_mode(ImplModel::Model1));
+  // A's body: no direct reference to x anymore.
+  const Behavior* a = r.refined.find_behavior("A");
+  ASSERT_NE(a, nullptr);
+  const std::string body = print(*a);
+  EXPECT_EQ(body.find("x := x"), std::string::npos);  // no direct access left
+  EXPECT_NE(body.find("call MST_receive_"), std::string::npos);
+  EXPECT_NE(body.find("call MST_send_"), std::string::npos);
+  EXPECT_NE(body.find("A_t_x"), std::string::npos);
+  EquivalenceReport rep = check_equivalence(s, r.refined);
+  EXPECT_TRUE(rep.equivalent) << rep.summary();
+  EXPECT_EQ(rep.refined_result.final_vars.at("x"), 18u);
+}
+
+TEST(DataRefine, WhileConditionRefetches) {
+  Specification s;
+  s.name = "W";
+  s.vars = {var("i", Type::u8()), var("acc", Type::u16(), 0, true)};
+  s.top = seq("Top",
+              behaviors(leaf("A", block(while_(lt(ref("i"), lit(4)),
+                                               block(assign("acc",
+                                                            add(ref("acc"),
+                                                                ref("i"))),
+                                                     assign("i",
+                                                            add(ref("i"),
+                                                                lit(1))))))),
+                        leaf("B", block(assign("acc", add(ref("acc"),
+                                                          ref("i")))))));
+  AccessGraph g = build_access_graph(s);
+  Partition part(s, Allocation::proc_plus_asic());
+  part.assign_behavior("B", 1);
+  part.auto_assign_vars(g);
+  for (ImplModel m : {ImplModel::Model1, ImplModel::Model2, ImplModel::Model3,
+                      ImplModel::Model4}) {
+    RefineResult r = refine(part, g, config_for(m));
+    EquivalenceReport rep = check_equivalence(s, r.refined);
+    EXPECT_TRUE(rep.equivalent) << to_string(m) << ": " << rep.summary();
+    EXPECT_EQ(rep.refined_result.final_vars.at("acc"), 0u + 1 + 2 + 3 + 4);
+  }
+}
+
+TEST(DataRefine, GuardFetchNodeInserted) {
+  AbcSetup s(3);
+  RefineResult r = refine(s.part, s.graph, config_for(ImplModel::Model1));
+  // Figure 6: guards on arcs leaving A now read a composite tmp fetched by
+  // an inserted A_fetch leaf.
+  const Behavior* fetch = r.refined.find_behavior("A_fetch");
+  ASSERT_NE(fetch, nullptr);
+  EXPECT_TRUE(fetch->is_leaf());
+  const Behavior* main_b = r.refined.find_behavior("Main");
+  ASSERT_NE(main_b, nullptr);
+  bool a_to_fetch = false;
+  for (const Transition& t : main_b->transitions) {
+    if (t.from == "A" && t.to == "A_fetch") a_to_fetch = true;
+    if (t.guard) {
+      std::vector<std::string> names;
+      t.guard->collect_names(names);
+      for (const auto& n : names) EXPECT_NE(n, "x");
+    }
+  }
+  EXPECT_TRUE(a_to_fetch);
+}
+
+TEST(DataRefine, UserProcedureCallsRefined) {
+  Specification s;
+  s.name = "P";
+  s.vars = {var("x", Type::u16(), 4, true), var("y", Type::u16(), 0, true)};
+  Procedure p;
+  p.name = "Twice";
+  p.params.push_back(in_param("a", Type::u16()));
+  p.params.push_back(out_param("r", Type::u16()));
+  p.body = block(assign("r", mul(ref("a"), lit(2))));
+  s.procedures.push_back(std::move(p));
+  s.top = seq("Top",
+              behaviors(leaf("A", block(call("Twice", args(ref("x"), ref("y"))))),
+                        leaf("B", block(assign("x", add(ref("x"), ref("y")))))));
+  AccessGraph g = build_access_graph(s);
+  Partition part(s, Allocation::proc_plus_asic());
+  part.assign_behavior("B", 1);
+  part.auto_assign_vars(g);
+  RefineResult r = refine(part, g, config_for(ImplModel::Model2));
+  EquivalenceReport rep = check_equivalence(s, r.refined);
+  EXPECT_TRUE(rep.equivalent) << rep.summary();
+  EXPECT_EQ(rep.refined_result.final_vars.at("y"), 8u);
+  EXPECT_EQ(rep.refined_result.final_vars.at("x"), 12u);
+}
+
+TEST(Refine, RejectsProcedureTouchingSpecVars) {
+  Specification s;
+  s.name = "Bad";
+  s.vars = {var("x")};
+  Procedure p;
+  p.name = "Naughty";
+  p.body = block(assign("x", lit(1)));
+  s.procedures.push_back(std::move(p));
+  s.top = seq("Top", behaviors(leaf("A", block(call("Naughty", args()))),
+                               leaf("B", block(assign("x", lit(2))))));
+  AccessGraph g = build_access_graph(s);
+  Partition part(s, Allocation::proc_plus_asic());
+  part.assign_behavior("B", 1);
+  part.auto_assign_vars(g);
+  EXPECT_THROW(refine(part, g, config_for(ImplModel::Model1)), SpecError);
+}
+
+TEST(ArchRefine, ArbiterOnSharedBusOnly) {
+  AbcSetup s(3);
+  // Model1: PROC main thread and ASIC's B_NEW both master the single bus.
+  RefineResult m1 = refine(s.part, s.graph, config_for(ImplModel::Model1));
+  EXPECT_EQ(m1.stats.arbiters, 1u);
+  EXPECT_NE(m1.refined.find_behavior("ARB_gbus"), nullptr);
+  // Model3: every generated bus has a single master -> no arbiters.
+  RefineResult m3 = refine(s.part, s.graph, config_for(ImplModel::Model3));
+  EXPECT_EQ(m3.stats.arbiters, 0u);
+}
+
+TEST(ArchRefine, Model4InterfacesGenerated) {
+  AbcSetup s(3);
+  RefineResult r = refine(s.part, s.graph, config_for(ImplModel::Model4));
+  EXPECT_GE(r.stats.interfaces, 2u);
+  bool has_out = false, has_in = false;
+  for (const Behavior* b : r.refined.all_behaviors()) {
+    if (b->name.find("_OUT") != std::string::npos) has_out = true;
+    if (b->name.find("_IN") != std::string::npos) has_in = true;
+  }
+  EXPECT_TRUE(has_out);
+  EXPECT_TRUE(has_in);
+}
+
+TEST(ArchRefine, MultiPortMemoryInModel3) {
+  AbcSetup s(3);
+  RefineResult r = refine(s.part, s.graph, config_for(ImplModel::Model3));
+  bool multiport = false;
+  for (const MemoryModule& m : r.plan.memories()) {
+    if (m.port_buses.size() > 1) multiport = true;
+  }
+  EXPECT_TRUE(multiport);
+  // The generated multi-port memory is a concurrent composite.
+  bool conc_mem = false;
+  for (const Behavior* b : r.refined.all_behaviors()) {
+    if (b->name.rfind("GMEM_", 0) == 0 &&
+        b->kind == BehaviorKind::Concurrent) {
+      conc_mem = true;
+    }
+  }
+  EXPECT_TRUE(conc_mem);
+}
+
+TEST(ArchRefine, Model3PortCapSharesBuses) {
+  // Section 3: "designers can select the number of memory ports". With a
+  // 3-component allocation, an uncapped Model3 global memory serving all
+  // three components has 3 ports; capping at 1 collapses them onto one
+  // arbitrated bus.
+  Specification s;
+  s.name = "Ports";
+  s.vars = {var("g", Type::u16(), 0, true)};
+  std::vector<BehaviorPtr> kids;
+  for (int i = 0; i < 3; ++i) {
+    kids.push_back(leaf("L" + std::to_string(i),
+                        block(assign("g", add(ref("g"), lit(1))))));
+  }
+  s.top = seq("Top", std::move(kids));
+  AccessGraph g = build_access_graph(s);
+  Partition part(s, Allocation::asics(3));
+  part.assign_behavior("L1", 1);
+  part.assign_behavior("L2", 2);
+  part.auto_assign_vars(g);
+
+  RefineConfig uncapped = config_for(ImplModel::Model3);
+  RefineResult r_full = refine(part, g, uncapped);
+  ASSERT_EQ(r_full.plan.memories().size(), 1u);
+  EXPECT_EQ(r_full.plan.memories()[0].port_buses.size(), 3u);
+  EXPECT_EQ(r_full.stats.arbiters, 0u);  // dedicated buses, one master each
+
+  RefineConfig capped = config_for(ImplModel::Model3);
+  capped.max_memory_ports = 1;
+  RefineResult r_one = refine(part, g, capped);
+  EXPECT_EQ(r_one.plan.memories()[0].port_buses.size(), 1u);
+  EXPECT_EQ(r_one.stats.arbiters, 1u);  // shared port bus needs arbitration
+  EXPECT_LT(r_one.stats.buses, r_full.stats.buses);
+
+  // Both remain functionally equivalent.
+  for (const RefineResult* r : {&r_full, &r_one}) {
+    EquivalenceReport rep = check_equivalence(s, r->refined);
+    EXPECT_TRUE(rep.equivalent) << rep.summary();
+  }
+
+  // Intermediate cap: 2 ports for 3 accessors.
+  RefineConfig two = config_for(ImplModel::Model3);
+  two.max_memory_ports = 2;
+  RefineResult r_two = refine(part, g, two);
+  EXPECT_EQ(r_two.plan.memories()[0].port_buses.size(), 2u);
+  EquivalenceReport rep2 = check_equivalence(s, r_two.refined);
+  EXPECT_TRUE(rep2.equivalent) << rep2.summary();
+}
+
+TEST(ArchRefine, Model3PortCapOnMedical) {
+  Specification spec = testing::medical_like_spec();
+  AccessGraph g = build_access_graph(spec);
+  Partition part(spec, Allocation::proc_plus_asic());
+  part.assign_behavior("L2", 1);
+  part.assign_behavior("L3", 1);
+  part.auto_assign_vars(g);
+  RefineConfig cfg = config_for(ImplModel::Model3);
+  cfg.max_memory_ports = 1;
+  RefineResult r = refine(part, g, cfg);
+  for (const MemoryModule& m : r.plan.memories()) {
+    EXPECT_LE(m.port_buses.size(), 1u);
+  }
+  EquivalenceReport rep = check_equivalence(spec, r.refined);
+  EXPECT_TRUE(rep.equivalent) << rep.summary();
+}
+
+TEST(Protocol, ByteSerialEquivalentOnFinalValues) {
+  AbcSetup s(3);
+  for (ImplModel m : {ImplModel::Model1, ImplModel::Model4}) {
+    RefineResult r = refine(
+        s.part, s.graph, config_for(m, ProtocolStyle::ByteSerial));
+    EquivalenceOptions opts;
+    // Byte-serial writes commit per beat; intermediate partial values make
+    // write *traces* incomparable, final values must still match.
+    opts.compare_write_traces = false;
+    EquivalenceReport rep = check_equivalence(s.spec, r.refined, opts);
+    EXPECT_TRUE(rep.equivalent) << to_string(m) << ": " << rep.summary();
+  }
+}
+
+TEST(Refine, StatsAndMastersReported) {
+  AbcSetup s(3);
+  RefineResult r = refine(s.part, s.graph, config_proc_mode(ImplModel::Model1));
+  EXPECT_EQ(r.stats.buses, 1u);
+  EXPECT_EQ(r.stats.memories, 2u);
+  EXPECT_GE(r.stats.generated_procs, 4u);
+  EXPECT_EQ(r.stats.inlined_sites, 0u);
+  ASSERT_EQ(r.bus_masters.count("gbus"), 1u);
+  EXPECT_GE(r.bus_masters.at("gbus").size(), 2u);
+  EXPECT_GT(r.stats.behaviors, s.spec.all_behaviors().size());
+}
+
+TEST(Inline, ProtocolsExpandedAtEverySite) {
+  AbcSetup s(3);
+  RefineResult r = refine(s.part, s.graph, config_for(ImplModel::Model1));
+  // Default config inlines: no MST procedures remain, no protocol calls.
+  EXPECT_EQ(r.stats.generated_procs, 0u);
+  EXPECT_GT(r.stats.inlined_sites, 0u);
+  for (const Procedure& p : r.refined.procedures) {
+    EXPECT_EQ(p.name.rfind("MST_", 0), std::string::npos) << p.name;
+  }
+  const std::string text = print(r.refined);
+  EXPECT_EQ(text.find("call MST_"), std::string::npos);
+  // The handshake appears inline in the rewritten leaf bodies.
+  const Behavior* a = r.refined.find_behavior("A");
+  ASSERT_NE(a, nullptr);
+  const std::string body = print(*a);
+  EXPECT_NE(body.find("gbus_start <= 1"), std::string::npos);
+  EXPECT_NE(body.find("wait gbus_done == 1"), std::string::npos);
+  EquivalenceReport rep = check_equivalence(s.spec, r.refined);
+  EXPECT_TRUE(rep.equivalent) << rep.summary();
+}
+
+TEST(Inline, MuchLargerThanProcedureMode) {
+  AbcSetup s(3);
+  RefineResult inl = refine(s.part, s.graph, config_for(ImplModel::Model1));
+  RefineResult prc =
+      refine(s.part, s.graph, config_proc_mode(ImplModel::Model1));
+  EXPECT_GT(count_lines(print(inl.refined)), count_lines(print(prc.refined)));
+}
+
+TEST(Inline, ByteSerialLoopLocalsHoistedAndReset) {
+  // Byte-serial protocol procedures carry locals (k, acc, byte_v); inlining
+  // hoists them onto the behavior and re-initializes per site.
+  AbcSetup s(3);
+  RefineResult r =
+      refine(s.part, s.graph,
+             config_for(ImplModel::Model1, ProtocolStyle::ByteSerial));
+  EXPECT_GT(r.stats.inlined_sites, 0u);
+  DiagnosticSink diags;
+  EXPECT_TRUE(validate(r.refined, diags)) << diags.str();
+  EquivalenceOptions opts;
+  opts.compare_write_traces = false;
+  EquivalenceReport rep = check_equivalence(s.spec, r.refined, opts);
+  EXPECT_TRUE(rep.equivalent) << rep.summary();
+}
+
+}  // namespace
+}  // namespace specsyn

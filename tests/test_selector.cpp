@@ -1,0 +1,141 @@
+// Tests for the architecture report generator and the automatic model
+// selector.
+#include <gtest/gtest.h>
+
+#include "estimate/static_profile.h"
+#include "printer/report.h"
+#include "refine/selector.h"
+#include "workloads/medical.h"
+#include "test_util.h"
+
+namespace specsyn {
+namespace {
+
+struct MedicalRig {
+  Specification spec;
+  AccessGraph graph;
+  PartitionerResult design;
+
+  MedicalRig()
+      : spec(make_medical_system()),
+        graph(build_access_graph(spec)),
+        design(make_medical_design(spec, graph, 1)) {}
+};
+
+TEST(Report, ContainsAllArchitectureSections) {
+  MedicalRig rig;
+  RefineConfig cfg;
+  cfg.model = ImplModel::Model4;
+  RefineResult r = refine(rig.design.partition, rig.graph, cfg);
+  ProfileResult prof = profile_spec(rig.spec);
+  BusRateReport rates = bus_rates(prof, rig.design.partition, r.plan, 100e6);
+  const std::string md = architecture_report(r, rig.design.partition, &rates);
+
+  EXPECT_NE(md.find("# Architecture:"), std::string::npos);
+  EXPECT_NE(md.find("Implementation model: **Model4**"), std::string::npos);
+  EXPECT_NE(md.find("## Components"), std::string::npos);
+  EXPECT_NE(md.find("**PROC** (processor, Intel8086"), std::string::npos);
+  EXPECT_NE(md.find("## Buses"), std::string::npos);
+  EXPECT_NE(md.find("| Mbit/s |"), std::string::npos);
+  EXPECT_NE(md.find("interbus"), std::string::npos);
+  EXPECT_NE(md.find("## Memory modules"), std::string::npos);
+  EXPECT_NE(md.find("| variable | address | beats | type |"),
+            std::string::npos);
+  EXPECT_NE(md.find("## Bus interfaces (message passing)"), std::string::npos);
+  EXPECT_NE(md.find("## Control handshakes"), std::string::npos);
+  EXPECT_NE(md.find("## Statistics"), std::string::npos);
+}
+
+TEST(Report, WorksWithoutRates) {
+  MedicalRig rig;
+  RefineConfig cfg;
+  cfg.model = ImplModel::Model1;
+  RefineResult r = refine(rig.design.partition, rig.graph, cfg);
+  const std::string md = architecture_report(r, rig.design.partition);
+  EXPECT_EQ(md.find("Mbit/s"), std::string::npos);
+  EXPECT_NE(md.find("GMEM_"), std::string::npos);
+  // Every medical variable appears in some memory's address table.
+  for (const VarDecl* v : rig.spec.all_vars()) {
+    EXPECT_NE(md.find("| " + v->name + " | "), std::string::npos) << v->name;
+  }
+}
+
+TEST(Selector, UnconstrainedPicksCheapest) {
+  MedicalRig rig;
+  ProfileResult prof = profile_spec(rig.spec);
+  SelectionResult sel = select_model(rig.design.partition, rig.graph, prof);
+  ASSERT_EQ(sel.ranked.size(), 4u);
+  ASSERT_TRUE(sel.best.has_value());
+  // All feasible without a rate cap; ranking is by ascending cost.
+  for (const Candidate& cand : sel.ranked) {
+    EXPECT_TRUE(cand.feasible);
+  }
+  for (size_t i = 1; i < sel.ranked.size(); ++i) {
+    EXPECT_LE(sel.ranked[i - 1].cost, sel.ranked[i].cost);
+  }
+}
+
+TEST(Selector, RateConstraintFiltersModels) {
+  MedicalRig rig;
+  ProfileResult prof = profile_spec(rig.spec);
+  // Model1's single shared bus carries everything; constrain just below it.
+  SelectionConstraints c;
+  BusPlan m1 = BusPlan::build(rig.design.partition, rig.graph,
+                              ImplModel::Model1);
+  const double m1_peak =
+      bus_rates(prof, rig.design.partition, m1, c.clock_hz).max_rate();
+  c.max_bus_mbps = m1_peak - 1.0;
+  SelectionResult sel =
+      select_model(rig.design.partition, rig.graph, prof, c);
+  ASSERT_TRUE(sel.best.has_value());
+  const Candidate* rec = sel.recommended();
+  ASSERT_NE(rec, nullptr);
+  EXPECT_NE(rec->config.model, ImplModel::Model1);  // excluded by the cap
+  EXPECT_LE(rec->peak_mbps, c.max_bus_mbps);
+  // Model1 ranks behind every feasible candidate.
+  bool after_feasible = false;
+  for (const Candidate& cand : sel.ranked) {
+    if (!cand.feasible) after_feasible = true;
+    if (after_feasible) {
+      EXPECT_FALSE(cand.feasible);
+    }
+  }
+}
+
+TEST(Selector, ImpossibleConstraintYieldsNoRecommendation) {
+  MedicalRig rig;
+  ProfileResult prof = profile_spec(rig.spec);
+  SelectionConstraints c;
+  c.max_bus_mbps = 0.001;
+  SelectionResult sel =
+      select_model(rig.design.partition, rig.graph, prof, c);
+  EXPECT_FALSE(sel.best.has_value());
+  EXPECT_EQ(sel.recommended(), nullptr);
+  // Infeasible candidates are ranked by how close they come.
+  for (size_t i = 1; i < sel.ranked.size(); ++i) {
+    EXPECT_LE(sel.ranked[i - 1].peak_mbps, sel.ranked[i].peak_mbps);
+  }
+}
+
+TEST(Selector, ProtocolExplorationDoublesCandidates) {
+  MedicalRig rig;
+  ProfileResult prof = profile_spec(rig.spec);
+  SelectionConstraints c;
+  c.explore_protocols = true;
+  SelectionResult sel =
+      select_model(rig.design.partition, rig.graph, prof, c);
+  EXPECT_EQ(sel.ranked.size(), 8u);
+}
+
+TEST(Selector, WorksWithStaticProfile) {
+  // The selector is estimation-agnostic: a static profile drives the same
+  // exploration without a single simulation.
+  MedicalRig rig;
+  ProfileResult stat = static_profile(rig.spec);
+  SelectionResult sel = select_model(rig.design.partition, rig.graph, stat);
+  ASSERT_TRUE(sel.best.has_value());
+  EXPECT_GT(sel.recommended()->peak_mbps, 0.0);
+}
+
+}  // namespace
+}  // namespace specsyn

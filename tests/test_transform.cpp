@@ -1,0 +1,222 @@
+// Tests for the specification transformation passes (rename, constant
+// folding, flattening), including semantics preservation via simulation.
+#include <gtest/gtest.h>
+
+#include "printer/printer.h"
+#include "spec/builder.h"
+#include "spec/transform.h"
+#include "workloads/synthetic.h"
+#include "test_util.h"
+
+namespace specsyn {
+namespace {
+
+using namespace build;
+
+TEST(Rename, VariableEverywhere) {
+  Specification s = testing::abc_spec(3);
+  SimResult before = testing::run(s);
+  rename_object(s, "x", "sensor_val");
+  testing::expect_valid(s);
+  EXPECT_EQ(s.find_var("x"), nullptr);
+  ASSERT_NE(s.find_var("sensor_val"), nullptr);
+  const std::string text = print(s);
+  EXPECT_NE(text.find("sensor_val := 3"), std::string::npos);
+  EXPECT_NE(text.find("when sensor_val > 1"), std::string::npos);
+  SimResult after = testing::run(s);
+  EXPECT_EQ(before.final_vars.at("r"), after.final_vars.at("r"));
+  EXPECT_EQ(before.final_vars.at("x"), after.final_vars.at("sensor_val"));
+}
+
+TEST(Rename, SignalAndErrors) {
+  Specification s;
+  s.name = "R";
+  s.signals = {signal("go")};
+  s.vars = {var("x")};
+  s.top = leaf("T", block(set("go", 1), wait_eq("go", 1),
+                          assign("x", lit(1))));
+  rename_object(s, "go", "start_pulse");
+  testing::expect_valid(s);
+  EXPECT_NE(print(s).find("wait start_pulse == 1"), std::string::npos);
+  EXPECT_THROW(rename_object(s, "ghost", "y"), SpecError);
+  EXPECT_THROW(rename_object(s, "x", "start_pulse"), SpecError);  // collision
+  EXPECT_THROW(rename_object(s, "x", "T"), SpecError);  // behavior collision
+}
+
+TEST(Rename, ProcedureShadowingRespected) {
+  Specification s;
+  s.name = "P";
+  s.vars = {var("x", Type::u16(), 5)};
+  Procedure p;
+  p.name = "Shadow";
+  p.params.push_back(in_param("x", Type::u16()));  // shadows spec var
+  p.params.push_back(out_param("r", Type::u16()));
+  p.body = block(assign("r", add(ref("x"), lit(1))));
+  s.procedures.push_back(std::move(p));
+  s.vars.push_back(var("res", Type::u16()));
+  s.top = leaf("T", block(call("Shadow", args(ref("x"), ref("res")))));
+  rename_object(s, "x", "val");
+  testing::expect_valid(s);
+  // Call-site argument renamed; the proc's own param untouched.
+  EXPECT_NE(print(s).find("call Shadow(val, res)"), std::string::npos);
+  EXPECT_EQ(s.procedures[0].params[0].name, "x");
+  EXPECT_NE(print(s.procedures[0]).find("r := x + 1"), std::string::npos);
+}
+
+TEST(Rename, BehaviorUpdatesTransitions) {
+  Specification s = testing::abc_spec(3);
+  rename_behavior(s, "B", "FastPath");
+  testing::expect_valid(s);
+  EXPECT_EQ(s.find_behavior("B"), nullptr);
+  bool arc = false;
+  for (const Transition& t : s.top->transitions) {
+    if (t.to == "FastPath") arc = true;
+  }
+  EXPECT_TRUE(arc);
+}
+
+TEST(Fold, ExpressionsUseExactSemantics) {
+  Specification s;
+  s.name = "F";
+  s.vars = {var("x", Type::u32(), 0, true)};
+  s.top = leaf("T", block(assign("x", add(mul(lit(3), lit(4)),
+                                          div(lit(7), lit(0))))));
+  SimResult before = testing::run(s);
+  FoldStats st = fold_constants(s);
+  EXPECT_GE(st.folded_exprs, 2u);  // mul and div (and the add)
+  EXPECT_NE(print(s).find("x := 12"), std::string::npos);  // 12 + 7/0(=0)
+  SimResult after = testing::run(s);
+  EXPECT_EQ(before.final_vars.at("x"), after.final_vars.at("x"));
+}
+
+TEST(Fold, PrunesStaticBranches) {
+  Specification s;
+  s.name = "F2";
+  s.vars = {var("a", Type::u8(), 0, true), var("b", Type::u8(), 0, true)};
+  s.top = leaf("T", block(if_(lit(1), block(assign("a", lit(1))),
+                              block(assign("a", lit(9)))),
+                          if_(lit(0), block(assign("b", lit(9))),
+                              block(assign("b", lit(2)))),
+                          while_(lit(0), block(assign("b", lit(77)))),
+                          wait(lit(1)),
+                          assign("a", add(ref("a"), lit(1)))));
+  SimResult before = testing::run(s);
+  FoldStats st = fold_constants(s);
+  EXPECT_EQ(st.pruned_branches, 4u);
+  const std::string text = print(s);
+  EXPECT_EQ(text.find("if"), std::string::npos);
+  EXPECT_EQ(text.find("while"), std::string::npos);
+  EXPECT_EQ(text.find("wait"), std::string::npos);
+  SimResult after = testing::run(s);
+  EXPECT_EQ(before.final_vars, after.final_vars);
+}
+
+TEST(Fold, WhileTrueBecomesLoop) {
+  Specification s;
+  s.name = "F3";
+  s.vars = {var("i", Type::u8(), 0, true)};
+  s.top = leaf("T", block(while_(lit(1), block(assign("i", add(ref("i"),
+                                                               lit(1))),
+                                               if_(ge(ref("i"), lit(3)),
+                                                   block(break_()))))));
+  fold_constants(s);
+  testing::expect_valid(s);
+  EXPECT_NE(print(s).find("loop {"), std::string::npos);
+  SimResult r = testing::run(s);
+  EXPECT_TRUE(r.root_completed);
+  EXPECT_EQ(r.final_vars.at("i"), 3u);
+}
+
+TEST(Fold, TransitionGuards) {
+  Specification s;
+  s.name = "F4";
+  s.vars = {var("r", Type::u8(), 0, true)};
+  auto a = leaf("A", block(nop()));
+  auto b = leaf("B", block(assign("r", lit(1))));
+  auto c = leaf("C", block(assign("r", lit(2))));
+  s.top = seq("Top", behaviors(std::move(a), std::move(b), std::move(c)),
+              arcs(on("A", lit(0), "B"),            // dead arc
+                   on("A", gt(lit(9), lit(1)), "C"),  // always true
+                   done("B"), done("C")));
+  SimResult before = testing::run(s);
+  FoldStats st = fold_constants(s);
+  EXPECT_GE(st.pruned_branches, 2u);
+  ASSERT_EQ(s.top->transitions.size(), 3u);  // dead arc removed
+  EXPECT_EQ(s.top->transitions[0].guard, nullptr);  // now unconditional
+  SimResult after = testing::run(s);
+  EXPECT_EQ(before.final_vars.at("r"), after.final_vars.at("r"));
+  EXPECT_EQ(after.final_vars.at("r"), 2u);
+}
+
+TEST(Fold, Idempotent) {
+  Specification s = testing::medical_like_spec();
+  fold_constants(s);
+  FoldStats second = fold_constants(s);
+  EXPECT_EQ(second.total(), 0u);
+}
+
+TEST(Flatten, TrivialChainCollapses) {
+  Specification s;
+  s.name = "FL";
+  s.vars = {var("x", Type::u8(), 0, true)};
+  BehaviorPtr b = leaf("L", block(assign("x", lit(7))));
+  for (int i = 0; i < 5; ++i) {
+    b = seq("W" + std::to_string(i), behaviors(std::move(b)));
+  }
+  b->vars.push_back(var("scoped", Type::u8()));
+  s.top = std::move(b);
+  SimResult before = testing::run(s);
+  size_t removed = flatten_trivial_composites(s);
+  EXPECT_EQ(removed, 5u);
+  testing::expect_valid(s);
+  EXPECT_TRUE(s.top->is_leaf());
+  // The composite-scoped declaration moved onto the surviving behavior.
+  ASSERT_EQ(s.top->vars.size(), 1u);
+  EXPECT_EQ(s.top->vars[0].name, "scoped");
+  SimResult after = testing::run(s);
+  EXPECT_EQ(before.final_vars.at("x"), after.final_vars.at("x"));
+}
+
+TEST(Flatten, KeepsMeaningfulComposites) {
+  Specification s = testing::abc_spec(3);
+  EXPECT_EQ(flatten_trivial_composites(s), 0u);
+  Specification m = testing::medical_like_spec();
+  EXPECT_EQ(flatten_trivial_composites(m), 0u);
+}
+
+TEST(Flatten, UpdatesParentTransitions) {
+  Specification s;
+  s.name = "FT";
+  s.vars = {var("n", Type::u8(), 0, true)};
+  auto wrapped = seq("Wrap", behaviors(leaf("Inner",
+                                            block(assign("n",
+                                                         add(ref("n"),
+                                                             lit(1)))))));
+  s.top = seq("Top", behaviors(std::move(wrapped)),
+              arcs(on("Wrap", lt(ref("n"), lit(3)), "Wrap"), done("Wrap")));
+  SimResult before = testing::run(s);
+  EXPECT_EQ(flatten_trivial_composites(s), 1u);
+  testing::expect_valid(s);
+  // Arcs now reference the spliced child.
+  EXPECT_EQ(s.top->transitions[0].from, "Inner");
+  EXPECT_EQ(s.top->transitions[0].to, "Inner");
+  SimResult after = testing::run(s);
+  EXPECT_EQ(before.final_vars.at("n"), after.final_vars.at("n"));
+}
+
+TEST(Transform, PipelineOnSyntheticPreservesSemantics) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SyntheticOptions opts;
+    opts.seed = seed;
+    Specification s = make_synthetic_spec(opts);
+    SimResult before = testing::run(s);
+    fold_constants(s);
+    flatten_trivial_composites(s);
+    testing::expect_valid(s);
+    SimResult after = testing::run(s);
+    EXPECT_EQ(before.final_vars, after.final_vars) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace specsyn

@@ -1,0 +1,391 @@
+// specsyn — command-line front end to the model-refinement library.
+//
+//   specsyn check    <file.spec>                     parse + validate + stats
+//   specsyn print    <file.spec>                     canonical pretty-print
+//   specsyn simulate <file.spec>                     run and report results
+//   specsyn graph    <file.spec> [partition opts]    Graphviz DOT export
+//   specsyn refine   <file.spec> [options]           full model refinement
+//
+// refine options:
+//   --model N              implementation model 1..4 (default 1)
+//   --protocol hs|bs       full-handshake / byte-serial (default hs)
+//   --scheme loop|wrapper  leaf control-refinement scheme (default loop)
+//   --no-inline            emit shared MST_* procedures instead of inlining
+//   --assign B=C           pin behavior B to component index C (repeatable)
+//   --pin-var V=C          pin variable V to component index C (repeatable)
+//   --ratio balanced|local|global   auto-partition to a ratio goal instead
+//   --asics N              allocate N ASICs instead of PROC+ASIC
+//   --vhdl                 emit VHDL-93 instead of SpecLang
+//   --rates                print the per-bus transfer-rate table
+//   --verify               check functional equivalence (exit 1 on mismatch)
+//   -o FILE                write primary output to FILE (default stdout)
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "estimate/profile.h"
+#include "estimate/rates.h"
+#include "graph/access_graph.h"
+#include "parser/parser.h"
+#include "partition/partitioner.h"
+#include "printer/dot.h"
+#include "printer/printer.h"
+#include "printer/report.h"
+#include "printer/vhdl.h"
+#include "refine/refiner.h"
+#include "sim/equivalence.h"
+#include "sim/vcd.h"
+
+using namespace specsyn;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: specsyn <check|print|simulate|graph|refine> "
+               "<file.spec> [options]\n"
+               "run `specsyn help` for the full option list\n");
+  return 2;
+}
+
+int help() {
+  std::printf(R"(specsyn — model refinement for hardware-software codesign
+
+commands:
+  check    <file.spec>   parse, validate, print summary statistics
+  print    <file.spec>   canonical pretty-print
+  simulate <file.spec>   run the discrete-event simulator, report results
+                         (--vcd FILE dumps a waveform)
+  graph    <file.spec>   Graphviz DOT of the access graph
+  refine   <file.spec>   transform into an implementation model
+
+refine options:
+  --model N ; --protocol hs|bs ; --scheme loop|wrapper ; --no-inline
+  --assign B=C ; --pin-var V=C ; --ratio balanced|local|global ; --asics N
+  --vhdl ; --report ; --rates ; --verify ; -o FILE
+)");
+  return 0;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+struct Args {
+  std::string command;
+  std::string file;
+  std::string out_file;
+  int model = 1;
+  ProtocolStyle protocol = ProtocolStyle::FullHandshake;
+  LeafScheme scheme = LeafScheme::LoopLeaf;
+  bool inline_protocols = true;
+  bool vhdl = false;
+  bool report = false;
+  bool rates = false;
+  bool verify = false;
+  std::string vcd_file;
+  size_t asics = 0;  // 0 => PROC+ASIC
+  std::vector<std::pair<std::string, size_t>> assigns;
+  std::vector<std::pair<std::string, size_t>> var_pins;
+  std::string ratio;  // "", balanced, local, global
+};
+
+bool parse_kv(const char* arg, std::pair<std::string, size_t>& out) {
+  const char* eq = std::strchr(arg, '=');
+  if (eq == nullptr || eq == arg) return false;
+  out.first.assign(arg, eq);
+  out.second = static_cast<size_t>(std::strtoul(eq + 1, nullptr, 10));
+  return true;
+}
+
+int parse_args(int argc, char** argv, Args& a) {
+  if (argc < 2) return usage();
+  a.command = argv[1];
+  if (a.command == "help" || a.command == "--help") return -1;
+  if (argc < 3) return usage();
+  a.file = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string f = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", f.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (f == "--model") {
+      const char* v = next();
+      if (!v) return 2;
+      a.model = std::atoi(v);
+      if (a.model < 1 || a.model > 4) {
+        std::fprintf(stderr, "--model must be 1..4\n");
+        return 2;
+      }
+    } else if (f == "--protocol") {
+      const char* v = next();
+      if (!v) return 2;
+      if (std::string(v) == "hs") {
+        a.protocol = ProtocolStyle::FullHandshake;
+      } else if (std::string(v) == "bs") {
+        a.protocol = ProtocolStyle::ByteSerial;
+      } else {
+        std::fprintf(stderr, "--protocol must be hs or bs\n");
+        return 2;
+      }
+    } else if (f == "--scheme") {
+      const char* v = next();
+      if (!v) return 2;
+      a.scheme = std::string(v) == "wrapper" ? LeafScheme::WrapperSeq
+                                             : LeafScheme::LoopLeaf;
+    } else if (f == "--no-inline") {
+      a.inline_protocols = false;
+    } else if (f == "--vhdl") {
+      a.vhdl = true;
+    } else if (f == "--report") {
+      a.report = true;
+    } else if (f == "--rates") {
+      a.rates = true;
+    } else if (f == "--verify") {
+      a.verify = true;
+    } else if (f == "--vcd") {
+      const char* v = next();
+      if (!v) return 2;
+      a.vcd_file = v;
+    } else if (f == "--asics") {
+      const char* v = next();
+      if (!v) return 2;
+      a.asics = static_cast<size_t>(std::atoi(v));
+    } else if (f == "--assign") {
+      const char* v = next();
+      std::pair<std::string, size_t> kv;
+      if (!v || !parse_kv(v, kv)) {
+        std::fprintf(stderr, "--assign expects NAME=COMPONENT\n");
+        return 2;
+      }
+      a.assigns.push_back(std::move(kv));
+    } else if (f == "--pin-var") {
+      const char* v = next();
+      std::pair<std::string, size_t> kv;
+      if (!v || !parse_kv(v, kv)) {
+        std::fprintf(stderr, "--pin-var expects NAME=COMPONENT\n");
+        return 2;
+      }
+      a.var_pins.push_back(std::move(kv));
+    } else if (f == "--ratio") {
+      const char* v = next();
+      if (!v) return 2;
+      a.ratio = v;
+    } else if (f == "-o") {
+      const char* v = next();
+      if (!v) return 2;
+      a.out_file = v;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", f.c_str());
+      return 2;
+    }
+  }
+  return 0;
+}
+
+int write_output(const Args& a, const std::string& text) {
+  if (a.out_file.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(a.out_file);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", a.out_file.c_str());
+    return 1;
+  }
+  out << text;
+  std::fprintf(stderr, "wrote %s (%zu bytes)\n", a.out_file.c_str(),
+               text.size());
+  return 0;
+}
+
+Partition build_partition(const Args& a, const Specification& spec,
+                          const AccessGraph& graph) {
+  Allocation alloc = a.asics > 0 ? Allocation::asics(a.asics)
+                                 : Allocation::proc_plus_asic();
+  if (!a.ratio.empty()) {
+    PartitionerOptions opts;
+    if (a.ratio == "balanced") {
+      opts.goal = RatioGoal::Balanced;
+    } else if (a.ratio == "local") {
+      opts.goal = RatioGoal::MoreLocal;
+    } else if (a.ratio == "global") {
+      opts.goal = RatioGoal::MoreGlobal;
+    } else {
+      throw SpecError("--ratio must be balanced, local or global");
+    }
+    return make_ratio_partition(spec, graph, std::move(alloc), opts).partition;
+  }
+  Partition part(spec, std::move(alloc));
+  for (const auto& [name, comp] : a.assigns) part.assign_behavior(name, comp);
+  for (const auto& [name, comp] : a.var_pins) part.assign_var(name, comp);
+  part.auto_assign_vars(graph);
+  return part;
+}
+
+int cmd_check(const Args& a, const Specification& spec) {
+  AccessGraph graph = build_access_graph(spec);
+  std::printf("spec %s: OK\n", spec.name.c_str());
+  std::printf("  behaviors:     %zu\n", spec.all_behaviors().size());
+  std::printf("  variables:     %zu\n", spec.all_vars().size());
+  std::printf("  signals:       %zu\n", spec.all_signals().size());
+  std::printf("  procedures:    %zu\n", spec.procedures.size());
+  std::printf("  statements:    %zu\n", spec.stmt_count());
+  std::printf("  lines:         %zu\n", count_lines(print(spec)));
+  std::printf("  data channels: %zu\n", graph.data_channel_pairs());
+  std::printf("  control arcs:  %zu\n", graph.control_channels().size());
+  std::printf("  sequential:    %s\n",
+              spec.is_fully_sequential() ? "yes" : "no");
+  (void)a;
+  return 0;
+}
+
+int cmd_simulate(const Args& a, const Specification& spec) {
+  Simulator sim(spec);
+  std::unique_ptr<VcdRecorder> vcd;
+  if (!a.vcd_file.empty()) {
+    vcd = std::make_unique<VcdRecorder>(spec);
+    sim.add_observer(vcd.get());
+  }
+  SimResult r = sim.run();
+  if (vcd) {
+    std::ofstream out(a.vcd_file);
+    out << vcd->str();
+    std::fprintf(stderr, "wrote %s (%zu value changes)\n", a.vcd_file.c_str(),
+                 vcd->change_count());
+  }
+  if (!r.blocked.empty() && !r.root_completed) {
+    std::printf("blocked processes:\n");
+    for (const BlockedProcess& b : r.blocked) {
+      std::printf("  [%llu] in %s waiting on %s\n",
+                  static_cast<unsigned long long>(b.process_id),
+                  b.behavior.c_str(), b.waiting_on.c_str());
+    }
+  }
+  std::printf("status: %s after %llu cycles (%llu steps)\n",
+              r.status == SimResult::Status::Quiescent ? "quiescent"
+                                                       : "max-cycles",
+              static_cast<unsigned long long>(r.end_time),
+              static_cast<unsigned long long>(r.steps));
+  std::printf("root completed: %s\n", r.root_completed ? "yes" : "no");
+  std::printf("final variable values:\n");
+  for (const auto& [name, value] : r.final_vars) {
+    std::printf("  %-24s = %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  if (!r.observable_writes.empty()) {
+    std::printf("observable writes (%zu):\n", r.observable_writes.size());
+    for (const WriteEvent& w : r.observable_writes) {
+      std::printf("  t=%-8llu %s := %llu\n",
+                  static_cast<unsigned long long>(w.time), w.var.c_str(),
+                  static_cast<unsigned long long>(w.value));
+    }
+  }
+  (void)a;
+  return 0;
+}
+
+int cmd_refine(const Args& a, const Specification& spec) {
+  AccessGraph graph = build_access_graph(spec);
+  Partition part = build_partition(a, spec, graph);
+  auto [local_v, global_v] = part.local_global_counts(graph);
+  std::fprintf(stderr, "partition: %zu local / %zu global variables\n",
+               local_v, global_v);
+
+  RefineConfig cfg;
+  cfg.model = static_cast<ImplModel>(a.model - 1);
+  cfg.protocol = a.protocol;
+  cfg.leaf_scheme = a.scheme;
+  cfg.inline_protocols = a.inline_protocols;
+  RefineResult r = refine(part, graph, cfg);
+  std::fprintf(stderr,
+               "%s: %zu buses, %zu memories (%zu ports), %zu arbiters, "
+               "%zu interfaces, %zu protocol sites\n",
+               to_string(cfg.model), r.stats.buses, r.stats.memories,
+               r.stats.memory_ports, r.stats.arbiters, r.stats.interfaces,
+               r.stats.inlined_sites);
+
+  if (a.rates) {
+    ProfileResult prof = profile_spec(spec);
+    BusRateReport rates = bus_rates(prof, part, r.plan, 100e6);
+    std::fprintf(stderr, "bus transfer rates (Mbit/s):\n");
+    for (const auto& [bus, mbps] : rates.bus_mbps) {
+      std::fprintf(stderr, "  %-18s %10.1f\n", bus.c_str(), mbps);
+    }
+  }
+  if (a.report) {
+    ProfileResult prof = profile_spec(spec);
+    BusRateReport rates = bus_rates(prof, part, r.plan, 100e6);
+    return write_output(a, architecture_report(r, part, &rates));
+  }
+  if (a.verify) {
+    EquivalenceOptions eo;
+    eo.compare_write_traces = a.protocol == ProtocolStyle::FullHandshake;
+    EquivalenceReport rep = check_equivalence(spec, r.refined, eo);
+    std::fprintf(stderr, "equivalence: %s\n", rep.summary().c_str());
+    if (!rep.equivalent) return 1;
+  }
+  return write_output(a, a.vhdl ? to_vhdl(r.refined) : print(r.refined));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  const int rc = parse_args(argc, argv, a);
+  if (rc == -1) return help();
+  if (rc != 0) return rc;
+
+  std::string text;
+  if (!read_file(a.file, text)) {
+    std::fprintf(stderr, "cannot read %s\n", a.file.c_str());
+    return 1;
+  }
+  DiagnosticSink diags;
+  auto parsed = parse_spec(text, diags);
+  if (!parsed) {
+    std::fprintf(stderr, "%s", diags.str().c_str());
+    return 1;
+  }
+  Specification spec = std::move(*parsed);
+  if (!validate(spec, diags)) {
+    std::fprintf(stderr, "%s", diags.str().c_str());
+    return 1;
+  }
+  if (diags.all().size() > diags.error_count()) {
+    std::fprintf(stderr, "%s", diags.str().c_str());  // warnings
+  }
+
+  try {
+    if (a.command == "check") return cmd_check(a, spec);
+    if (a.command == "print") return write_output(a, print(spec));
+    if (a.command == "simulate") return cmd_simulate(a, spec);
+    if (a.command == "graph") {
+      AccessGraph graph = build_access_graph(spec);
+      if (!a.assigns.empty() || !a.ratio.empty()) {
+        Partition part = build_partition(a, spec, graph);
+        return write_output(a, to_dot(graph, part));
+      }
+      return write_output(a, to_dot(graph));
+    }
+    if (a.command == "refine") return cmd_refine(a, spec);
+  } catch (const SpecError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
