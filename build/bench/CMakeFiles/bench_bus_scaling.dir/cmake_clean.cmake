@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bus_scaling.dir/bench_bus_scaling.cpp.o"
+  "CMakeFiles/bench_bus_scaling.dir/bench_bus_scaling.cpp.o.d"
+  "bench_bus_scaling"
+  "bench_bus_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bus_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equivalence_demo.dir/equivalence_demo.cpp.o"
+  "CMakeFiles/equivalence_demo.dir/equivalence_demo.cpp.o.d"
+  "equivalence_demo"
+  "equivalence_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equivalence_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_explorer.dir/medical_explorer.cpp.o"
+  "CMakeFiles/medical_explorer.dir/medical_explorer.cpp.o.d"
+  "medical_explorer"
+  "medical_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

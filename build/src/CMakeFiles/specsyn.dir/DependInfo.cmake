@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimate/cost.cpp" "src/CMakeFiles/specsyn.dir/estimate/cost.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/estimate/cost.cpp.o.d"
+  "/root/repo/src/estimate/profile.cpp" "src/CMakeFiles/specsyn.dir/estimate/profile.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/estimate/profile.cpp.o.d"
+  "/root/repo/src/estimate/rates.cpp" "src/CMakeFiles/specsyn.dir/estimate/rates.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/estimate/rates.cpp.o.d"
+  "/root/repo/src/estimate/static_profile.cpp" "src/CMakeFiles/specsyn.dir/estimate/static_profile.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/estimate/static_profile.cpp.o.d"
+  "/root/repo/src/graph/access_graph.cpp" "src/CMakeFiles/specsyn.dir/graph/access_graph.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/graph/access_graph.cpp.o.d"
+  "/root/repo/src/parser/lexer.cpp" "src/CMakeFiles/specsyn.dir/parser/lexer.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/parser/lexer.cpp.o.d"
+  "/root/repo/src/parser/parser.cpp" "src/CMakeFiles/specsyn.dir/parser/parser.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/parser/parser.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "src/CMakeFiles/specsyn.dir/partition/partition.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/partition/partition.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/CMakeFiles/specsyn.dir/partition/partitioner.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/partition/partitioner.cpp.o.d"
+  "/root/repo/src/printer/dot.cpp" "src/CMakeFiles/specsyn.dir/printer/dot.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/printer/dot.cpp.o.d"
+  "/root/repo/src/printer/printer.cpp" "src/CMakeFiles/specsyn.dir/printer/printer.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/printer/printer.cpp.o.d"
+  "/root/repo/src/printer/report.cpp" "src/CMakeFiles/specsyn.dir/printer/report.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/printer/report.cpp.o.d"
+  "/root/repo/src/printer/vhdl.cpp" "src/CMakeFiles/specsyn.dir/printer/vhdl.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/printer/vhdl.cpp.o.d"
+  "/root/repo/src/refine/address_map.cpp" "src/CMakeFiles/specsyn.dir/refine/address_map.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/refine/address_map.cpp.o.d"
+  "/root/repo/src/refine/arbiter_gen.cpp" "src/CMakeFiles/specsyn.dir/refine/arbiter_gen.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/refine/arbiter_gen.cpp.o.d"
+  "/root/repo/src/refine/bus_interface_gen.cpp" "src/CMakeFiles/specsyn.dir/refine/bus_interface_gen.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/refine/bus_interface_gen.cpp.o.d"
+  "/root/repo/src/refine/bus_plan.cpp" "src/CMakeFiles/specsyn.dir/refine/bus_plan.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/refine/bus_plan.cpp.o.d"
+  "/root/repo/src/refine/control_refine.cpp" "src/CMakeFiles/specsyn.dir/refine/control_refine.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/refine/control_refine.cpp.o.d"
+  "/root/repo/src/refine/data_refine.cpp" "src/CMakeFiles/specsyn.dir/refine/data_refine.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/refine/data_refine.cpp.o.d"
+  "/root/repo/src/refine/inliner.cpp" "src/CMakeFiles/specsyn.dir/refine/inliner.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/refine/inliner.cpp.o.d"
+  "/root/repo/src/refine/memory_gen.cpp" "src/CMakeFiles/specsyn.dir/refine/memory_gen.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/refine/memory_gen.cpp.o.d"
+  "/root/repo/src/refine/protocol.cpp" "src/CMakeFiles/specsyn.dir/refine/protocol.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/refine/protocol.cpp.o.d"
+  "/root/repo/src/refine/refiner.cpp" "src/CMakeFiles/specsyn.dir/refine/refiner.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/refine/refiner.cpp.o.d"
+  "/root/repo/src/refine/selector.cpp" "src/CMakeFiles/specsyn.dir/refine/selector.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/refine/selector.cpp.o.d"
+  "/root/repo/src/sim/equivalence.cpp" "src/CMakeFiles/specsyn.dir/sim/equivalence.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/sim/equivalence.cpp.o.d"
+  "/root/repo/src/sim/interp.cpp" "src/CMakeFiles/specsyn.dir/sim/interp.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/sim/interp.cpp.o.d"
+  "/root/repo/src/sim/signal_table.cpp" "src/CMakeFiles/specsyn.dir/sim/signal_table.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/sim/signal_table.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/specsyn.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/value.cpp" "src/CMakeFiles/specsyn.dir/sim/value.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/sim/value.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/CMakeFiles/specsyn.dir/sim/vcd.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/sim/vcd.cpp.o.d"
+  "/root/repo/src/spec/behavior.cpp" "src/CMakeFiles/specsyn.dir/spec/behavior.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/spec/behavior.cpp.o.d"
+  "/root/repo/src/spec/builder.cpp" "src/CMakeFiles/specsyn.dir/spec/builder.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/spec/builder.cpp.o.d"
+  "/root/repo/src/spec/expr.cpp" "src/CMakeFiles/specsyn.dir/spec/expr.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/spec/expr.cpp.o.d"
+  "/root/repo/src/spec/specification.cpp" "src/CMakeFiles/specsyn.dir/spec/specification.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/spec/specification.cpp.o.d"
+  "/root/repo/src/spec/stmt.cpp" "src/CMakeFiles/specsyn.dir/spec/stmt.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/spec/stmt.cpp.o.d"
+  "/root/repo/src/spec/transform.cpp" "src/CMakeFiles/specsyn.dir/spec/transform.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/spec/transform.cpp.o.d"
+  "/root/repo/src/spec/validate.cpp" "src/CMakeFiles/specsyn.dir/spec/validate.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/spec/validate.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/specsyn.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/workloads/answering.cpp" "src/CMakeFiles/specsyn.dir/workloads/answering.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/workloads/answering.cpp.o.d"
+  "/root/repo/src/workloads/medical.cpp" "src/CMakeFiles/specsyn.dir/workloads/medical.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/workloads/medical.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/CMakeFiles/specsyn.dir/workloads/synthetic.cpp.o" "gcc" "src/CMakeFiles/specsyn.dir/workloads/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

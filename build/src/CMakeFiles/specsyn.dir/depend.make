@@ -1,0 +1,2 @@
+# Empty dependencies file for specsyn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_busplan.dir/test_busplan.cpp.o"
+  "CMakeFiles/test_busplan.dir/test_busplan.cpp.o.d"
+  "test_busplan"
+  "test_busplan.pdb"
+  "test_busplan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_busplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

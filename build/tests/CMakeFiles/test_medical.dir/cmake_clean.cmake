@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_medical.dir/test_medical.cpp.o"
+  "CMakeFiles/test_medical.dir/test_medical.cpp.o.d"
+  "test_medical"
+  "test_medical.pdb"
+  "test_medical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_medical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refine_edge.dir/test_refine_edge.cpp.o"
+  "CMakeFiles/test_refine_edge.dir/test_refine_edge.cpp.o.d"
+  "test_refine_edge"
+  "test_refine_edge.pdb"
+  "test_refine_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refine_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static.dir/test_static.cpp.o"
+  "CMakeFiles/test_static.dir/test_static.cpp.o.d"
+  "test_static"
+  "test_static.pdb"
+  "test_static[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specsyn-cli.dir/specsyn_cli.cpp.o"
+  "CMakeFiles/specsyn-cli.dir/specsyn_cli.cpp.o.d"
+  "specsyn"
+  "specsyn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specsyn-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

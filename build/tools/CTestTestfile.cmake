@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_check "/root/repo/build/tools/specsyn" "check" "/root/repo/examples/specs/producer_consumer.spec")
+set_tests_properties(cli_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/specsyn" "simulate" "/root/repo/examples/specs/traffic_light.spec")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_refine_verify "/root/repo/build/tools/specsyn" "refine" "/root/repo/examples/specs/producer_consumer.spec" "--assign" "Consume=1" "--model" "3" "--verify" "-o" "/root/repo/build/pc_m3.spec")
+set_tests_properties(cli_refine_verify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_refine_vhdl "/root/repo/build/tools/specsyn" "refine" "/root/repo/examples/specs/traffic_light.spec" "--assign" "Controller=1" "--model" "2" "--vhdl" "--verify" "-o" "/root/repo/build/tl_m2.vhd")
+set_tests_properties(cli_refine_vhdl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_graph "/root/repo/build/tools/specsyn" "graph" "/root/repo/examples/specs/traffic_light.spec")
+set_tests_properties(cli_graph PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_refine_ratio_bs "/root/repo/build/tools/specsyn" "refine" "/root/repo/examples/specs/producer_consumer.spec" "--ratio" "balanced" "--model" "4" "--protocol" "bs" "--verify" "-o" "/root/repo/build/pc_m4.spec")
+set_tests_properties(cli_refine_ratio_bs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_refine_report "/root/repo/build/tools/specsyn" "refine" "/root/repo/examples/specs/producer_consumer.spec" "--assign" "Consume=1" "--model" "4" "--report" "-o" "/root/repo/build/pc_report.md")
+set_tests_properties(cli_refine_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate_vcd "/root/repo/build/tools/specsyn" "simulate" "/root/repo/examples/specs/traffic_light.spec" "--vcd" "/root/repo/build/tl.vcd")
+set_tests_properties(cli_simulate_vcd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
