@@ -1,0 +1,134 @@
+// Micro-benchmarks for the lowering pass (sim/program.h): lowered vs legacy
+// interpretation of the same specifications, and the one-time compilation
+// cost the lowered path pays at Simulator construction.
+//
+// The two interpreters drive the same frame machine and produce bit-identical
+// SimResults (tests/test_lowering.cpp proves it); this harness quantifies the
+// steady-state win of pre-resolved slots over string-keyed lookups, and keeps
+// the construction overhead honest — lowering must pay for itself even on
+// short runs.
+#include <benchmark/benchmark.h>
+
+#include "bench_json.h"
+#include "refine/refiner.h"
+#include "sim/simulator.h"
+#include "workloads/medical.h"
+#include "workloads/synthetic.h"
+
+namespace specsyn {
+namespace {
+
+const Specification& medical() {
+  static const Specification spec = make_medical_system();
+  return spec;
+}
+
+const Specification& refined_medical(ImplModel m) {
+  static std::map<ImplModel, RefineResult> cache = [] {
+    std::map<ImplModel, RefineResult> c;
+    const Specification& spec = medical();
+    AccessGraph graph = build_access_graph(spec);
+    auto d = make_medical_design(spec, graph, 1);
+    for (ImplModel mm : {ImplModel::Model1, ImplModel::Model2,
+                         ImplModel::Model3, ImplModel::Model4}) {
+      RefineConfig cfg;
+      cfg.model = mm;
+      c.emplace(mm, refine(d.partition, graph, cfg));
+    }
+    return c;
+  }();
+  return cache.at(m).refined;
+}
+
+const Specification& synthetic_spec() {
+  static const Specification spec = [] {
+    SyntheticOptions opts;
+    opts.seed = 11;
+    opts.leaf_behaviors = 16;
+    opts.variables = 20;
+    return make_synthetic_spec(opts);
+  }();
+  return spec;
+}
+
+void simulate(benchmark::State& state, const Specification& spec,
+              bool use_lowering) {
+  SimConfig cfg;
+  cfg.use_lowering = use_lowering;
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    Simulator sim(spec, cfg);
+    SimResult r = sim.run();
+    steps = r.steps;
+    benchmark::DoNotOptimize(r.final_vars);
+  }
+  state.counters["steps"] = static_cast<double>(steps);
+}
+
+void BM_Lowered_Medical(benchmark::State& state) {
+  simulate(state, medical(), true);
+}
+BENCHMARK(BM_Lowered_Medical);
+
+void BM_Legacy_Medical(benchmark::State& state) {
+  simulate(state, medical(), false);
+}
+BENCHMARK(BM_Legacy_Medical);
+
+void BM_Lowered_RefinedMedical(benchmark::State& state) {
+  const auto model = static_cast<ImplModel>(state.range(0));
+  simulate(state, refined_medical(model), true);
+  state.SetLabel(to_string(model));
+}
+BENCHMARK(BM_Lowered_RefinedMedical)->DenseRange(0, 3);
+
+void BM_Legacy_RefinedMedical(benchmark::State& state) {
+  const auto model = static_cast<ImplModel>(state.range(0));
+  simulate(state, refined_medical(model), false);
+  state.SetLabel(to_string(model));
+}
+BENCHMARK(BM_Legacy_RefinedMedical)->DenseRange(0, 3);
+
+void BM_Lowered_Synthetic(benchmark::State& state) {
+  simulate(state, synthetic_spec(), true);
+}
+BENCHMARK(BM_Lowered_Synthetic);
+
+void BM_Legacy_Synthetic(benchmark::State& state) {
+  simulate(state, synthetic_spec(), false);
+}
+BENCHMARK(BM_Legacy_Synthetic);
+
+// Construction cost only: validation + table building, plus (lowered) the
+// Specification -> Program compile. This is the fixed price the lowered path
+// pays before the first event fires.
+void construct(benchmark::State& state, const Specification& spec,
+               bool use_lowering) {
+  SimConfig cfg;
+  cfg.use_lowering = use_lowering;
+  for (auto _ : state) {
+    Simulator sim(spec, cfg);
+    benchmark::DoNotOptimize(sim);
+  }
+}
+
+void BM_Construct_Lowered_RefinedMedical(benchmark::State& state) {
+  const auto model = static_cast<ImplModel>(state.range(0));
+  construct(state, refined_medical(model), true);
+  state.SetLabel(to_string(model));
+}
+BENCHMARK(BM_Construct_Lowered_RefinedMedical)->DenseRange(0, 3);
+
+void BM_Construct_Legacy_RefinedMedical(benchmark::State& state) {
+  const auto model = static_cast<ImplModel>(state.range(0));
+  construct(state, refined_medical(model), false);
+  state.SetLabel(to_string(model));
+}
+BENCHMARK(BM_Construct_Legacy_RefinedMedical)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace specsyn
+
+int main(int argc, char** argv) {
+  return specsyn::run_with_json(argc, argv, "BENCH_interp_lowering.json");
+}

@@ -1,0 +1,111 @@
+// Machine-readable benchmark output. Google-benchmark's own --benchmark_out
+// JSON is verbose and schema-unstable across versions; the regression gate
+// (tools/check_bench_regress.py) wants a small, stable document it can diff
+// against a committed baseline. `run_with_json` runs the registered
+// benchmarks with the normal console output and additionally writes
+//
+//   {"benchmarks": [{"name": ..., "label": ..., "ns_per_op": ...,
+//                    "counters": {...}}, ...]}
+//
+// to `default_path` (overridable via the BENCH_JSON environment variable;
+// set it to an empty string to disable the file entirely).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace specsyn {
+
+namespace bench_json_detail {
+
+struct Entry {
+  std::string name;
+  std::string label;
+  double ns_per_op = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Console reporter that also records one Entry per successful iteration run
+/// (aggregates and errored runs are skipped: the gate compares raw timings).
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Entry e;
+      e.name = run.benchmark_name();
+      e.label = run.report_label;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      e.ns_per_op = run.real_accumulated_time / iters * 1e9;
+      for (const auto& [cname, counter] : run.counters) {
+        e.counters.emplace_back(cname, static_cast<double>(counter));
+      }
+      entries.push_back(std::move(e));
+    }
+  }
+
+  std::vector<Entry> entries;
+};
+
+inline void escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+inline void write_json(const std::vector<Entry>& entries,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return;  // benches still succeeded; the file is best-effort
+  out << "{\n  \"benchmarks\": [";
+  bool first_entry = true;
+  for (const Entry& e : entries) {
+    out << (first_entry ? "\n" : ",\n");
+    first_entry = false;
+    std::string name, label;
+    escape_into(name, e.name);
+    escape_into(label, e.label);
+    out << "    {\"name\": \"" << name << "\", \"label\": \"" << label
+        << "\", \"ns_per_op\": " << e.ns_per_op;
+    if (!e.counters.empty()) {
+      out << ", \"counters\": {";
+      bool first_counter = true;
+      for (const auto& [cname, value] : e.counters) {
+        if (!first_counter) out << ", ";
+        first_counter = false;
+        std::string cesc;
+        escape_into(cesc, cname);
+        out << "\"" << cesc << "\": " << value;
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace bench_json_detail
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body: runs all registered
+/// benchmarks, then writes the compact JSON summary next to the console
+/// output. Returns the process exit code.
+inline int run_with_json(int argc, char** argv, const char* default_path) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench_json_detail::RecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  std::string path = default_path;
+  if (const char* env = std::getenv("BENCH_JSON")) path = env;
+  if (!path.empty()) bench_json_detail::write_json(reporter.entries, path);
+  return 0;
+}
+
+}  // namespace specsyn

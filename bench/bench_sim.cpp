@@ -7,6 +7,7 @@
 // simulated-cycle counts (protocol overhead stretches simulated time).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "estimate/profile.h"
 #include "refine/refiner.h"
 #include "sim/simulator.h"
@@ -101,4 +102,6 @@ BENCHMARK(BM_ProfileSynthetic)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 }  // namespace
 }  // namespace specsyn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return specsyn::run_with_json(argc, argv, "BENCH_sim.json");
+}

@@ -3,13 +3,18 @@
 // the public API.
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 
+#include "sim/program.h"
 #include "sim/simulator.h"
 
 namespace specsyn {
 
-/// One activation record of a process's control stack.
+/// One activation record of a process's control stack. The legacy and
+/// lowered interpreters drive the same frame machine; a frame belongs to one
+/// of the two worlds and uses either the source-IR fields (stmts/behavior/
+/// locals) or their lowered counterparts (lstmts/lbehavior/dlocals).
 struct Simulator::Frame {
   enum class Kind : uint8_t {
     Block,     // executing a statement list (leaf body, branch, loop body…)
@@ -25,18 +30,29 @@ struct Simulator::Frame {
   const StmtList* stmts = nullptr;
   size_t idx = 0;
   const Stmt* owner = nullptr;  // While/Loop statement to re-check, or null
+  const LBlock* lstmts = nullptr;
+  const LStmt* lowner = nullptr;
 
   // Seq / Behavior / Conc
   const Behavior* behavior = nullptr;
+  const LBehavior* lbehavior = nullptr;
   bool started = false;
   size_t child = 0;     // Seq: index of the currently running child
   int remaining = 0;    // Conc: children still running
 
-  // Call
+  // Call (legacy): name-keyed activation state, heap-allocated so that the
+  // common non-call frames stay small and cheap to construct/destroy.
+  struct LegacyCall {
+    std::unordered_map<std::string, uint64_t> locals;     // params + locals
+    std::unordered_map<std::string, Type> local_types;
+    std::vector<std::pair<std::string, std::string>> out_binds;
+  };
   const Procedure* proc = nullptr;
-  std::unordered_map<std::string, uint64_t> locals;       // params + locals
-  std::unordered_map<std::string, Type> local_types;
-  std::vector<std::pair<std::string, std::string>> out_binds;  // param -> dest
+  std::unique_ptr<LegacyCall> call_state;
+  // Call (lowered): dense activation record.
+  const LProc* lproc = nullptr;
+  const LStmt* lcall_site = nullptr;  // lowered out-binds live at the site
+  std::vector<uint64_t> dlocals;      // dense params + locals
 };
 
 struct Simulator::Process {

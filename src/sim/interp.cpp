@@ -18,8 +18,8 @@ uint64_t Simulator::read_name(const std::string& name, Process& p) {
   // Innermost procedure activation (if any) shadows the global tables.
   for (auto it = p.stack.rbegin(); it != p.stack.rend(); ++it) {
     if (it->kind == Frame::Kind::Call) {
-      auto hit = it->locals.find(name);
-      if (hit != it->locals.end()) return hit->second;
+      auto hit = it->call_state->locals.find(name);
+      if (hit != it->call_state->locals.end()) return hit->second;
       break;  // only the innermost call scope is visible
     }
   }
@@ -38,9 +38,9 @@ uint64_t Simulator::read_name(const std::string& name, Process& p) {
 void Simulator::write_var(const std::string& name, uint64_t value, Process& p) {
   for (auto it = p.stack.rbegin(); it != p.stack.rend(); ++it) {
     if (it->kind == Frame::Kind::Call) {
-      auto hit = it->locals.find(name);
-      if (hit != it->locals.end()) {
-        hit->second = it->local_types.at(name).wrap(value);
+      auto hit = it->call_state->locals.find(name);
+      if (hit != it->call_state->locals.end()) {
+        hit->second = it->call_state->local_types.at(name).wrap(value);
         return;
       }
       break;
@@ -54,8 +54,8 @@ void Simulator::write_var(const std::string& name, uint64_t value, Process& p) {
   for (SimObserver* o : observers_) {
     o->on_var_write(name, current_behavior(p), now_, vars_.get(vi));
   }
-  if (observable_idx_.count(vi) != 0) {
-    observable_writes_.push_back({name, vars_.get(vi), now_});
+  if (observable_[vi] != 0) {
+    raw_writes_.push_back({static_cast<uint32_t>(vi), vars_.get(vi), now_});
   }
 }
 
@@ -67,10 +67,17 @@ uint64_t Simulator::eval(const Expr& e, Process& p) {
       return read_name(e.name, p);
     case Expr::Kind::Unary:
       return apply_unop(e.un_op, eval(*e.args[0], p));
-    case Expr::Kind::Binary:
-      return apply_binop(e.bin_op, eval(*e.args[0], p), eval(*e.args[1], p));
+    case Expr::Kind::Binary: {
+      // Sequence the operands explicitly: function-argument evaluation order
+      // is unspecified, and observers must see reads left-to-right.
+      const uint64_t lhs = eval(*e.args[0], p);
+      const uint64_t rhs = eval(*e.args[1], p);
+      return apply_binop(e.bin_op, lhs, rhs);
+    }
   }
-  return 0;
+  // Unreachable for any Expr built through the factories; a corrupted kind
+  // must fail loudly rather than silently evaluate to 0.
+  throw SpecError("simulator: unhandled expression kind");
 }
 
 void Simulator::block_on(Process& p, const Expr& cond) {
@@ -81,7 +88,12 @@ void Simulator::block_on(Process& p, const Expr& cond) {
   cond.collect_names(names);
   for (const auto& n : names) {
     const size_t si = signals_.find(n);
-    if (si != SIZE_MAX) waiters_[si].push_back(&p);
+    if (si != SIZE_MAX) {
+      // A name may occur twice in one condition; one waiter entry suffices
+      // (wakeups null wait_cond, so duplicate entries were always no-ops).
+      auto& list = waiters_[si];
+      if (list.empty() || list.back() != &p) list.push_back(&p);
+    }
   }
 }
 
@@ -164,7 +176,7 @@ void Simulator::step(Process& p) {
             p.stack.push_back(std::move(join));
             p.status = Process::Status::Blocked;  // until children join
             for (const auto& c : b.children) {
-              Process& cp = spawn(*c, &p);
+              Process& cp = spawn(c.get(), nullptr, &p);
               enqueue(cp, now_ + cfg_.stmt_cost);
             }
             break;
@@ -237,8 +249,8 @@ void Simulator::step(Process& p) {
       // Procedure body finished: copy out-params into the caller's scope.
       Frame call = std::move(f);
       leave_frame(p);
-      for (const auto& [param, dest] : call.out_binds) {
-        write_var(dest, call.locals.at(param), p);
+      for (const auto& [param, dest] : call.call_state->out_binds) {
+        write_var(dest, call.call_state->locals.at(param), p);
       }
       enqueue(p, now_ + cfg_.stmt_cost);
       break;
@@ -326,19 +338,21 @@ void Simulator::exec_stmt(const Stmt& s, Process& p) {
       Frame call;
       call.kind = Frame::Kind::Call;
       call.proc = proc;
+      call.call_state = std::make_unique<Frame::LegacyCall>();
+      Frame::LegacyCall& st = *call.call_state;
       for (size_t i = 0; i < proc->params.size(); ++i) {
         const Param& prm = proc->params[i];
-        call.local_types.emplace(prm.name, prm.type);
+        st.local_types.emplace(prm.name, prm.type);
         if (prm.is_out) {
-          call.locals.emplace(prm.name, 0);
-          call.out_binds.emplace_back(prm.name, s.args[i]->name);
+          st.locals.emplace(prm.name, 0);
+          st.out_binds.emplace_back(prm.name, s.args[i]->name);
         } else {
-          call.locals.emplace(prm.name, prm.type.wrap(eval(*s.args[i], p)));
+          st.locals.emplace(prm.name, prm.type.wrap(eval(*s.args[i], p)));
         }
       }
       for (const auto& [name, type] : proc->locals) {
-        call.locals.emplace(name, 0);
-        call.local_types.emplace(name, type);
+        st.locals.emplace(name, 0);
+        st.local_types.emplace(name, type);
       }
       p.stack.push_back(std::move(call));
       Frame body;

@@ -4,13 +4,39 @@
 
 #include "printer/printer.h"
 #include "sim/frames.h"
+#include "sim/program.h"
 
 namespace specsyn {
+
+namespace {
+
+// priority_queue exposes no reserve(); seed it with a pre-reserved container
+// so steady-state pushes don't reallocate the heap storage.
+template <typename Ev>
+std::priority_queue<Ev, std::vector<Ev>, std::greater<>> make_queue(
+    size_t capacity) {
+  std::vector<Ev> storage;
+  storage.reserve(capacity);
+  return std::priority_queue<Ev, std::vector<Ev>, std::greater<>>(
+      std::greater<>(), std::move(storage));
+}
+
+}  // namespace
 
 Simulator::Simulator(const Specification& spec, SimConfig cfg)
     : spec_(spec), cfg_(cfg) {
   validate_or_throw(spec_);
   build_tables();
+  if (cfg_.use_lowering) {
+    prog_ = Program::compile(spec_, vars_, signals_);
+    ops_base_ = prog_->ops().data();
+    eval_stack_.assign(std::max<uint32_t>(1, prog_->max_eval_stack()), 0);
+    completions_.assign(prog_->behavior_count(), 0);
+  }
+  run_q_ = make_queue<RunEvent>(1024);
+  sig_q_ = make_queue<SignalEvent>(1024);
+  processes_.reserve(64);
+  raw_writes_.reserve(256);
 }
 
 Simulator::~Simulator() = default;
@@ -20,20 +46,25 @@ void Simulator::add_observer(SimObserver* obs) { observers_.push_back(obs); }
 void Simulator::build_tables() {
   for (const VarDecl* v : spec_.all_vars()) {
     const size_t idx = vars_.add(v->name, v->type, v->init);
-    if (v->is_observable) observable_idx_.insert(idx);
+    observable_.resize(vars_.size(), 0);
+    if (v->is_observable) observable_[idx] = 1;
   }
   for (const SignalDecl* s : spec_.all_signals()) {
     signals_.add(s->name, s->type, s->init);
   }
+  waiters_.resize(signals_.size());
 }
 
-Simulator::Process& Simulator::spawn(const Behavior& b, Process* parent) {
+Simulator::Process& Simulator::spawn(const Behavior* b, const LBehavior* lb,
+                                     Process* parent) {
   auto p = std::make_unique<Process>();
   p->id = processes_.size();
   p->parent = parent;
+  p->stack.reserve(16);  // deep enough for typical nesting; avoids regrowth
   Frame f;
   f.kind = Frame::Kind::Behavior;
-  f.behavior = &b;
+  f.behavior = b;
+  f.lbehavior = lb;
   p->stack.push_back(std::move(f));
   processes_.push_back(std::move(p));
   return *processes_.back();
@@ -49,12 +80,10 @@ void Simulator::schedule_signal(size_t idx, uint64_t value, uint64_t time) {
 }
 
 void Simulator::wake_sensitive(size_t signal_idx, uint64_t time) {
-  auto it = waiters_.find(signal_idx);
-  if (it == waiters_.end()) return;
   // Every current entry is either woken now or stale; either way the list
   // empties (woken processes re-register if they block again).
-  std::vector<Process*> entries = std::move(it->second);
-  it->second.clear();
+  std::vector<Process*> entries = std::move(waiters_[signal_idx]);
+  waiters_[signal_idx].clear();
   for (Process* p : entries) {
     if (p->status == Process::Status::Blocked && p->wait_cond != nullptr) {
       p->wait_cond = nullptr;  // will re-block (and re-register) if still false
@@ -83,9 +112,16 @@ SimResult Simulator::run() {
 
   SimResult result;
   if (spec_.top) {
-    root_ = &spawn(*spec_.top, nullptr);
+    root_ = &spawn(spec_.top.get(), prog_ ? prog_->root() : nullptr, nullptr);
     enqueue(*root_, 0);
   }
+
+  // Pick the stepping variant once: lowered vs legacy, and (for the lowered
+  // path) observed vs unobserved, so the steady state never re-tests either.
+  const bool observed = !observers_.empty();
+  void (Simulator::*step_fn)(Process&) =
+      prog_ ? (observed ? &Simulator::lstep<true> : &Simulator::lstep<false>)
+            : &Simulator::step;
 
   while (!run_q_.empty() || !sig_q_.empty()) {
     uint64_t t = UINT64_MAX;
@@ -103,9 +139,11 @@ SimResult Simulator::run() {
       const SignalEvent ev = sig_q_.top();
       sig_q_.pop();
       if (signals_.commit(ev.signal, ev.value)) {
-        for (SimObserver* o : observers_) {
-          o->on_signal_change(signals_.name_of(ev.signal), now_,
-                              signals_.get(ev.signal));
+        if (observed) {
+          for (SimObserver* o : observers_) {
+            o->on_signal_change(signals_.name_of(ev.signal), now_,
+                                signals_.get(ev.signal));
+          }
         }
         wake_sensitive(ev.signal, now_);
       }
@@ -119,7 +157,7 @@ SimResult Simulator::run() {
       if (p->status != Process::Status::Ready) {
         throw SpecError("internal: non-ready process in run queue");
       }
-      step(*p);
+      (this->*step_fn)(*p);
       ++steps_;
       if (steps_ > cfg_.max_cycles) break;
     }
@@ -145,8 +183,23 @@ SimResult Simulator::run() {
   for (size_t i = 0; i < vars_.size(); ++i) {
     result.final_vars.emplace(vars_.name_of(i), vars_.get(i));
   }
-  result.observable_writes = observable_writes_;
-  result.behavior_completions = behavior_completions_;
+  result.observable_writes.reserve(raw_writes_.size());
+  for (const RawWrite& w : raw_writes_) {
+    result.observable_writes.push_back({vars_.name_of(w.var), w.value, w.time});
+  }
+  if (prog_) {
+    // Lowered runs count completions per interned behavior id; materialize
+    // the name-keyed map (ids with zero completions have no entry, matching
+    // the legacy map's insert-on-first-completion behavior).
+    for (uint32_t id = 0; id < prog_->behavior_count(); ++id) {
+      if (completions_[id] != 0) {
+        result.behavior_completions.emplace(prog_->behavior_name(id),
+                                            completions_[id]);
+      }
+    }
+  } else {
+    result.behavior_completions = behavior_completions_;
+  }
   return result;
 }
 

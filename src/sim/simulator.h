@@ -28,8 +28,6 @@
 #include <memory>
 #include <queue>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/signal_table.h"
@@ -46,6 +44,11 @@ struct SimConfig {
   uint64_t max_cycles = 50'000'000;
   /// Clock frequency used when converting cycles to seconds in reports.
   double clock_hz = 100e6;
+  /// Compile the spec into a slot-indexed execution plan (sim/program.h) and
+  /// run the lowered interpreter. Off = the legacy string-resolving
+  /// interpreter; results are bit-identical either way (the legacy path is
+  /// kept as the semantic reference, reachable via `specsyn --no-lowering`).
+  bool use_lowering = true;
 };
 
 /// Observation callbacks. All strings are the spec-unique object names.
@@ -116,6 +119,14 @@ struct SimResult {
   std::map<std::string, uint64_t> behavior_completions;
 };
 
+class Program;
+struct LBehavior;
+struct LBlock;
+struct LStmt;
+struct LExpr;
+struct LOp;
+struct LTarget;
+
 class Simulator {
  public:
   /// `spec` must outlive the simulator and be valid (validate_or_throw).
@@ -139,13 +150,13 @@ class Simulator {
 
   // kernel (simulator.cpp)
   void build_tables();
-  Process& spawn(const Behavior& b, Process* parent);
+  Process& spawn(const Behavior* b, const LBehavior* lb, Process* parent);
   void enqueue(Process& p, uint64_t time);
   void schedule_signal(size_t idx, uint64_t value, uint64_t time);
   void wake_sensitive(size_t signal_idx, uint64_t time);
   void finish_process(Process& p, uint64_t time);
 
-  // interpreter (interp.cpp)
+  // legacy interpreter (interp.cpp): resolves names at execution time
   void step(Process& p);
   uint64_t eval(const Expr& e, Process& p);
   uint64_t read_name(const std::string& name, Process& p);
@@ -156,6 +167,18 @@ class Simulator {
   void seq_advance(Process& p);
   void block_on(Process& p, const Expr& cond);
 
+  // lowered interpreter (interp_lowered.cpp): runs the compiled Program.
+  // `Obs` selects the observer-notifying variant once per run; the steady
+  // state of an unobserved run contains no observer dispatch at all.
+  template <bool Obs> void lstep(Process& p);
+  template <bool Obs> uint64_t leval(const LExpr& e, Process& p);
+  template <bool Obs> void lwrite(const LTarget& t, uint64_t value, Process& p);
+  template <bool Obs> void lexec_stmt(const LStmt& s, Process& p);
+  template <bool Obs> void lseq_advance(Process& p);
+  void lenter_behavior(const LBehavior& b, Process& p);
+  void lblock_on(Process& p, const LStmt& s);
+  Frame& innermost_call(Process& p);
+
   const std::string& current_behavior(const Process& p) const;
 
   const Specification& spec_;
@@ -164,6 +187,16 @@ class Simulator {
 
   VarTable vars_;
   SignalTable signals_;
+
+  /// Compiled execution plan (null when cfg_.use_lowering is off).
+  std::unique_ptr<const Program> prog_;
+  /// Base of prog_'s pooled postfix ops (cached; LExpr ranges index into it).
+  const LOp* ops_base_ = nullptr;
+  /// Scratch value stack for leval, sized to prog_->max_eval_stack().
+  std::vector<uint64_t> eval_stack_;
+  /// Per-behavior-id completion counts (lowered path; the legacy path counts
+  /// into behavior_completions_ directly).
+  std::vector<uint64_t> completions_;
 
   std::vector<std::unique_ptr<Process>> processes_;
 
@@ -192,13 +225,20 @@ class Simulator {
   uint64_t steps_ = 0;
   bool ran_ = false;
 
-  // blocked-on-wait bookkeeping: signal index -> waiting processes
-  std::unordered_map<size_t, std::vector<Process*>> waiters_;
+  // blocked-on-wait bookkeeping, indexed by signal slot
+  std::vector<std::vector<Process*>> waiters_;
 
-  // variable slots declared `observable` (their writes are traced)
-  std::unordered_set<size_t> observable_idx_;
+  // observability flag per variable slot (writes to flagged slots are traced)
+  std::vector<uint8_t> observable_;
 
-  std::vector<WriteEvent> observable_writes_;
+  // Committed observable writes, slot-indexed; names are materialized into
+  // WriteEvents once at the end of run() instead of copied per write.
+  struct RawWrite {
+    uint32_t var;
+    uint64_t value;
+    uint64_t time;
+  };
+  std::vector<RawWrite> raw_writes_;
   std::map<std::string, uint64_t> behavior_completions_;
   Process* root_ = nullptr;
 };

@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "spec/specification.h"
@@ -14,16 +15,50 @@ namespace {
 
 enum class SymKind { Var, Signal };
 
-struct Scope {
-  // name -> kind, innermost wins (but names are globally unique anyway).
-  std::vector<std::pair<std::string, SymKind>> syms;
+// Lexical symbol table with O(1) lookup. Declarations are pushed as scopes
+// open and popped (via the journal) as they close; each name keeps a stack of
+// kinds so an inner declaration shadows an outer one exactly like the old
+// innermost-wins linear scan did. Refined specifications declare thousands of
+// names, so lookup cost matters here — validation runs in every Simulator
+// constructor.
+class Scope {
+ public:
+  void push(const std::string& n, SymKind k) {
+    syms_[n].push_back(k);
+    journal_.push_back(&n);
+  }
 
   [[nodiscard]] const SymKind* find(const std::string& n) const {
-    for (auto it = syms.rbegin(); it != syms.rend(); ++it) {
-      if (it->first == n) return &it->second;
-    }
-    return nullptr;
+    auto it = syms_.find(n);
+    if (it == syms_.end() || it->second.empty()) return nullptr;
+    return &it->second.back();
   }
+
+  [[nodiscard]] size_t mark() const { return journal_.size(); }
+
+  void pop_to(size_t mark) {
+    while (journal_.size() > mark) {
+      syms_[*journal_.back()].pop_back();
+      journal_.pop_back();
+    }
+  }
+
+ private:
+  std::unordered_map<std::string, std::vector<SymKind>> syms_;
+  std::vector<const std::string*> journal_;  // push order, for unwinding
+};
+
+// Opens a nested lexical scope; pops everything pushed since construction.
+class ScopeFrame {
+ public:
+  explicit ScopeFrame(Scope& s) : scope_(s), mark_(s.mark()) {}
+  ~ScopeFrame() { scope_.pop_to(mark_); }
+  ScopeFrame(const ScopeFrame&) = delete;
+  ScopeFrame& operator=(const ScopeFrame&) = delete;
+
+ private:
+  Scope& scope_;
+  size_t mark_;
 };
 
 class Validator {
@@ -40,11 +75,11 @@ class Validator {
     Scope scope;
     for (const auto& v : spec_.vars) {
       check_type(v.type, "variable '" + v.name + "'");
-      scope.syms.emplace_back(v.name, SymKind::Var);
+      scope.push(v.name, SymKind::Var);
     }
     for (const auto& s : spec_.signals) {
       check_type(s.type, "signal '" + s.name + "'");
-      scope.syms.emplace_back(s.name, SymKind::Signal);
+      scope.push(s.name, SymKind::Signal);
     }
     check_procedures(scope);
     check_behavior(*spec_.top, scope);
@@ -88,9 +123,9 @@ class Validator {
     }
   }
 
-  void check_procedures(const Scope& outer) {
+  void check_procedures(Scope& outer) {
     for (const auto& p : spec_.procedures) {
-      Scope scope = outer;
+      ScopeFrame frame(outer);
       std::set<std::string> local_names;
       for (const auto& prm : p.params) {
         check_type(prm.type, "parameter '" + prm.name + "' of '" + p.name + "'");
@@ -98,7 +133,7 @@ class Validator {
           diags_.error("duplicate parameter '" + prm.name + "' in procedure '" +
                        p.name + "'");
         }
-        scope.syms.emplace_back(prm.name, SymKind::Var);
+        outer.push(prm.name, SymKind::Var);
       }
       for (const auto& [name, type] : p.locals) {
         check_type(type, "local '" + name + "' of '" + p.name + "'");
@@ -106,21 +141,22 @@ class Validator {
           diags_.error("duplicate local '" + name + "' in procedure '" + p.name +
                        "'");
         }
-        scope.syms.emplace_back(name, SymKind::Var);
+        outer.push(name, SymKind::Var);
       }
-      check_block(p.body, scope, /*loop_depth=*/0,
+      check_block(p.body, outer, /*loop_depth=*/0,
                   "procedure '" + p.name + "'");
     }
   }
 
-  void check_behavior(const Behavior& b, Scope scope) {
+  void check_behavior(const Behavior& b, Scope& scope) {
+    ScopeFrame frame(scope);
     for (const auto& v : b.vars) {
       check_type(v.type, "variable '" + v.name + "'");
-      scope.syms.emplace_back(v.name, SymKind::Var);
+      scope.push(v.name, SymKind::Var);
     }
     for (const auto& s : b.signals) {
       check_type(s.type, "signal '" + s.name + "'");
-      scope.syms.emplace_back(s.name, SymKind::Signal);
+      scope.push(s.name, SymKind::Signal);
     }
 
     const std::string where = "behavior '" + b.name + "'";

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares a fresh benchmark run (the compact JSON written by bench binaries
+via bench/bench_json.h) against a committed baseline and fails when any
+benchmark present in both files got slower by more than the threshold.
+
+    check_bench_regress.py BASELINE.json CURRENT.json [--threshold 0.10]
+
+Benchmarks only present on one side are reported but never fail the gate
+(benches come and go; the gate is about regressions, not coverage). Exit
+status: 0 = no regression, 1 = regression found, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list):
+        print(f"error: {path}: no 'benchmarks' array", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for b in benches:
+        name = b.get("name")
+        ns = b.get("ns_per_op")
+        if isinstance(name, str) and isinstance(ns, (int, float)) and ns > 0:
+            # Runs made with --benchmark_repetitions emit one entry per
+            # repetition; keep the fastest. Transient machine load only ever
+            # slows a run down, so min-of-N is the noise-robust estimate.
+            out[name] = min(out.get(name, float("inf")), float(ns))
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="allowed slowdown fraction (default 0.10 = 10%%)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    regressions = []
+    for name in sorted(base):
+        if name not in cur:
+            print(f"note: '{name}' only in baseline (skipped)")
+            continue
+        ratio = cur[name] / base[name]
+        marker = "REGRESSED" if ratio > 1.0 + args.threshold else "ok"
+        print(
+            f"{marker:>9}  {name}: {base[name]:.0f} -> {cur[name]:.0f} ns/op "
+            f"({(ratio - 1.0) * 100.0:+.1f}%)"
+        )
+        if marker == "REGRESSED":
+            regressions.append(name)
+    for name in sorted(set(cur) - set(base)):
+        print(f"note: '{name}' only in current (skipped)")
+
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} benchmark(s) slower than baseline "
+            f"by more than {args.threshold * 100:.0f}%: "
+            + ", ".join(regressions),
+            file=sys.stderr,
+        )
+        return 1
+    print("PASS: no benchmark regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,14 +60,15 @@ commands:
   check    <file.spec>   parse, validate, print summary statistics
   print    <file.spec>   canonical pretty-print
   simulate <file.spec>   run the discrete-event simulator, report results
-                         (--vcd FILE dumps a waveform)
+                         (--vcd FILE dumps a waveform; --no-lowering runs
+                         the legacy tree-walking interpreter)
   graph    <file.spec>   Graphviz DOT of the access graph
   refine   <file.spec>   transform into an implementation model
 
 refine options:
   --model N ; --protocol hs|bs ; --scheme loop|wrapper ; --no-inline
   --assign B=C ; --pin-var V=C ; --ratio balanced|local|global ; --asics N
-  --vhdl ; --report ; --rates ; --verify ; -o FILE
+  --vhdl ; --report ; --rates ; --verify ; --no-lowering ; -o FILE
 )");
   return 0;
 }
@@ -93,6 +94,7 @@ struct Args {
   bool report = false;
   bool rates = false;
   bool verify = false;
+  bool use_lowering = true;
   std::string vcd_file;
   size_t asics = 0;  // 0 => PROC+ASIC
   std::vector<std::pair<std::string, size_t>> assigns;
@@ -157,6 +159,8 @@ int parse_args(int argc, char** argv, Args& a) {
       a.rates = true;
     } else if (f == "--verify") {
       a.verify = true;
+    } else if (f == "--no-lowering") {
+      a.use_lowering = false;
     } else if (f == "--vcd") {
       const char* v = next();
       if (!v) return 2;
@@ -255,7 +259,9 @@ int cmd_check(const Args& a, const Specification& spec) {
 }
 
 int cmd_simulate(const Args& a, const Specification& spec) {
-  Simulator sim(spec);
+  SimConfig cfg;
+  cfg.use_lowering = a.use_lowering;
+  Simulator sim(spec, cfg);
   std::unique_ptr<VcdRecorder> vcd;
   if (!a.vcd_file.empty()) {
     vcd = std::make_unique<VcdRecorder>(spec);
@@ -334,6 +340,7 @@ int cmd_refine(const Args& a, const Specification& spec) {
   }
   if (a.verify) {
     EquivalenceOptions eo;
+    eo.config.use_lowering = a.use_lowering;
     eo.compare_write_traces = a.protocol == ProtocolStyle::FullHandshake;
     EquivalenceReport rep = check_equivalence(spec, r.refined, eo);
     std::fprintf(stderr, "equivalence: %s\n", rep.summary().c_str());
