@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_json.h"
+#include "obs/bus_trace.h"
 #include "refine/refiner.h"
 #include "sim/simulator.h"
 #include "workloads/medical.h"
@@ -88,6 +89,28 @@ void BM_Legacy_RefinedMedical(benchmark::State& state) {
   state.SetLabel(to_string(model));
 }
 BENCHMARK(BM_Legacy_RefinedMedical)->DenseRange(0, 3);
+
+// Observability price: the same lowered run with a BusTracer attached. Slot
+// observers flip the kernel to its observed template instantiation, so the
+// delta against BM_Lowered_RefinedMedical is the whole cost of bus tracing —
+// and BM_Lowered_RefinedMedical itself (no observers) must not move at all.
+void BM_Traced_RefinedMedical(benchmark::State& state) {
+  const auto model = static_cast<ImplModel>(state.range(0));
+  const Specification& spec = refined_medical(model);
+  SimConfig cfg;
+  uint64_t txns = 0;
+  for (auto _ : state) {
+    BusTracer tracer(spec);
+    Simulator sim(spec, cfg);
+    sim.add_slot_observer(&tracer);
+    SimResult r = sim.run();
+    txns = tracer.transactions().size();
+    benchmark::DoNotOptimize(r.final_vars);
+  }
+  state.counters["txns"] = static_cast<double>(txns);
+  state.SetLabel(to_string(model));
+}
+BENCHMARK(BM_Traced_RefinedMedical)->DenseRange(0, 3);
 
 void BM_Lowered_Synthetic(benchmark::State& state) {
   simulate(state, synthetic_spec(), true);

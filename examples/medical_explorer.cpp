@@ -12,9 +12,12 @@
 #include "estimate/cost.h"
 #include "estimate/profile.h"
 #include "estimate/rates.h"
+#include "obs/bus_trace.h"
+#include "obs/metrics.h"
 #include "printer/printer.h"
 #include "refine/refiner.h"
 #include "refine/selector.h"
+#include "sim/simulator.h"
 #include "workloads/medical.h"
 
 using namespace specsyn;
@@ -28,6 +31,17 @@ struct ModelOutcome {
   size_t lines;
   size_t buses;
 };
+
+/// Simulates the refined model with a BusTracer attached and returns the
+/// measured bus metrics — the dynamic counterpart of the static rate
+/// estimates above (estimate/rates.h predicts, the tracer observes).
+MetricsReport measure(const Specification& refined) {
+  BusTracer tracer(refined);
+  Simulator sim(refined, SimConfig{});
+  sim.add_slot_observer(&tracer);
+  sim.run();
+  return MetricsReport::from(tracer);
+}
 
 void explore(const Specification& spec, const AccessGraph& graph,
              const ProfileResult& prof, int design) {
@@ -49,6 +63,25 @@ void explore(const Specification& spec, const AccessGraph& graph,
                 "%zu lines\n",
                 to_string(m), rates.max_rate(), r.stats.buses, cost.total,
                 outcomes.back().lines);
+
+    // Measured (simulated) bus traffic alongside the static estimate: which
+    // bus actually saturates, and how long masters fight the arbiter for it.
+    const MetricsReport measured = measure(r.refined);
+    double peak_util = 0.0;
+    uint64_t contention = 0;
+    const MetricsReport::BusRow* busiest = nullptr;
+    for (const MetricsReport::BusRow& b : measured.buses) {
+      contention += b.contention_cycles;
+      if (b.utilization_pct > peak_util) {
+        peak_util = b.utilization_pct;
+        busiest = &b;
+      }
+    }
+    std::printf("      measured: %llu cycles, busiest bus %s at %.1f%% "
+                "util, contention %llu cycles\n",
+                static_cast<unsigned long long>(measured.end_time),
+                busiest != nullptr ? busiest->name.c_str() : "-", peak_util,
+                static_cast<unsigned long long>(contention));
   }
 
   // Recommend via the automatic selector: feasible under a max bus-rate

@@ -1,0 +1,129 @@
+#include "obs/metrics.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "obs/json_util.h"
+
+namespace specsyn {
+
+MetricsReport MetricsReport::from(const BusTracer& tracer) {
+  MetricsReport r;
+  r.end_time = tracer.end_time();
+  r.transactions = tracer.transactions().size();
+  for (const BusTransaction& tx : tracer.transactions()) {
+    if (!tx.complete) ++r.incomplete_transactions;
+  }
+  for (const BusTracer::Bus& b : tracer.buses()) {
+    BusRow row;
+    row.name = b.name;
+    row.transfers = b.transfers;
+    row.reads = b.reads;
+    row.writes = b.writes;
+    row.busy_cycles = b.busy_cycles;
+    row.utilization_pct = b.utilization_pct(r.end_time);
+    row.contention_cycles = b.contention_cycles();
+    row.latency_hist = b.latency_hist;
+    for (const BusTracer::Master& m : b.masters) {
+      MasterRow mr;
+      mr.name = m.name;
+      mr.grants = m.grants;
+      mr.wait_cycles = m.wait_cycles;
+      mr.grant_latency_avg =
+          m.grants == 0 ? 0.0
+                        : static_cast<double>(m.grant_latency_sum) /
+                              static_cast<double>(m.grants);
+      mr.grant_latency_max = m.grant_latency_max;
+      row.masters.push_back(std::move(mr));
+    }
+    r.buses.push_back(std::move(row));
+  }
+  return r;
+}
+
+const MetricsReport::BusRow* MetricsReport::find(const std::string& bus) const {
+  for (const BusRow& b : buses) {
+    if (b.name == bus) return &b;
+  }
+  return nullptr;
+}
+
+std::string MetricsReport::table() const {
+  std::ostringstream os;
+  os << "Bus metrics (" << end_time << " cycles, " << transactions
+     << " transactions";
+  if (incomplete_transactions != 0) {
+    os << ", " << incomplete_transactions << " open at end";
+  }
+  os << ")\n";
+  if (buses.empty()) {
+    os << "  (no buses discovered)\n";
+    return os.str();
+  }
+
+  size_t name_w = 3;
+  for (const BusRow& b : buses) name_w = std::max(name_w, b.name.size());
+
+  os << "  " << std::left << std::setw(static_cast<int>(name_w)) << "bus"
+     << std::right << std::setw(10) << "transfers" << std::setw(7) << "reads"
+     << std::setw(8) << "writes" << std::setw(10) << "busy" << std::setw(8)
+     << "util%" << std::setw(12) << "contention" << "\n";
+  for (const BusRow& b : buses) {
+    os << "  " << std::left << std::setw(static_cast<int>(name_w)) << b.name
+       << std::right << std::setw(10) << b.transfers << std::setw(7) << b.reads
+       << std::setw(8) << b.writes << std::setw(10) << b.busy_cycles
+       << std::setw(8) << std::fixed << std::setprecision(1)
+       << b.utilization_pct << std::setw(12) << b.contention_cycles << "\n";
+    for (const MasterRow& m : b.masters) {
+      os << "    " << std::left << std::setw(static_cast<int>(name_w)) << m.name
+         << std::right << "  grants=" << m.grants << " wait=" << m.wait_cycles
+         << " grant_latency avg=" << std::setprecision(1) << m.grant_latency_avg
+         << " max=" << m.grant_latency_max << "\n";
+    }
+  }
+
+  os << "  handshake latency (cycles, log2 buckets: <=1 <=2 <=4 ... >64)\n";
+  for (const BusRow& b : buses) {
+    os << "    " << std::left << std::setw(static_cast<int>(name_w)) << b.name
+       << std::right;
+    for (const uint64_t count : b.latency_hist) os << std::setw(7) << count;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"end_time\":" << end_time << ",\"transactions\":" << transactions
+     << ",\"incomplete_transactions\":" << incomplete_transactions
+     << ",\"buses\":[";
+  for (size_t i = 0; i < buses.size(); ++i) {
+    const BusRow& b = buses[i];
+    if (i != 0) os << ",";
+    os << "{\"name\":\"" << json_escape(b.name) << "\""
+       << ",\"transfers\":" << b.transfers << ",\"reads\":" << b.reads
+       << ",\"writes\":" << b.writes << ",\"busy_cycles\":" << b.busy_cycles
+       << ",\"utilization_pct\":" << std::fixed << std::setprecision(3)
+       << b.utilization_pct << ",\"contention_cycles\":" << b.contention_cycles
+       << ",\"latency_hist\":[";
+    for (size_t k = 0; k < b.latency_hist.size(); ++k) {
+      if (k != 0) os << ",";
+      os << b.latency_hist[k];
+    }
+    os << "],\"masters\":[";
+    for (size_t k = 0; k < b.masters.size(); ++k) {
+      const MasterRow& m = b.masters[k];
+      if (k != 0) os << ",";
+      os << "{\"name\":\"" << json_escape(m.name) << "\",\"grants\":" << m.grants
+         << ",\"wait_cycles\":" << m.wait_cycles
+         << ",\"grant_latency_avg\":" << std::setprecision(3)
+         << m.grant_latency_avg
+         << ",\"grant_latency_max\":" << m.grant_latency_max << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace specsyn

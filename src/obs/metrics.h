@@ -1,0 +1,57 @@
+// Bus metrics report: the numbers behind the paper's Section 5 comparison
+// (how much traffic each refined model puts on which bus, and how hard the
+// arbitrated buses are fought over), rendered as a human table and as JSON.
+//
+// A MetricsReport is a value snapshot taken from a finished BusTracer run —
+// it owns its rows, so it stays valid after the tracer and simulator are
+// gone, and two reports (e.g. Model1 vs Model3) can be compared directly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/bus_trace.h"
+
+namespace specsyn {
+
+struct MetricsReport {
+  struct MasterRow {
+    std::string name;
+    uint64_t grants = 0;
+    uint64_t wait_cycles = 0;        ///< contention charged to this master
+    double grant_latency_avg = 0.0;  ///< req rise -> ack rise, mean cycles
+    uint64_t grant_latency_max = 0;
+  };
+
+  struct BusRow {
+    std::string name;
+    uint64_t transfers = 0;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t busy_cycles = 0;
+    double utilization_pct = 0.0;
+    uint64_t contention_cycles = 0;
+    std::vector<MasterRow> masters;
+    std::array<uint64_t, kLatencyBuckets> latency_hist{};
+  };
+
+  uint64_t end_time = 0;  ///< simulated cycles
+  uint64_t transactions = 0;
+  uint64_t incomplete_transactions = 0;  ///< still open when the run ended
+  std::vector<BusRow> buses;
+
+  /// Snapshot `tracer` after Simulator::run() has returned.
+  [[nodiscard]] static MetricsReport from(const BusTracer& tracer);
+
+  /// Row for `bus`, or nullptr.
+  [[nodiscard]] const BusRow* find(const std::string& bus) const;
+
+  /// Fixed-width human-readable table.
+  [[nodiscard]] std::string table() const;
+  /// The same data as a JSON object.
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace specsyn

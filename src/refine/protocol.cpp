@@ -7,16 +7,17 @@ namespace specsyn {
 using namespace build;
 
 BusSignals BusSignals::of(const std::string& bus) {
-  return {bus + "_start", bus + "_done", bus + "_rd",
-          bus + "_wr",    bus + "_addr", bus + "_data"};
+  return {bus + bus_naming::kStart, bus + bus_naming::kDone,
+          bus + bus_naming::kRd,    bus + bus_naming::kWr,
+          bus + bus_naming::kAddr,  bus + bus_naming::kData};
 }
 
 std::string req_signal(const std::string& bus, const std::string& master) {
-  return bus + "_req_" + master;
+  return bus + bus_naming::kReq + master;
 }
 
 std::string ack_signal(const std::string& bus, const std::string& master) {
-  return bus + "_ack_" + master;
+  return bus + bus_naming::kAck + master;
 }
 
 ProtocolGen::ProtocolGen(ProtocolStyle style, Type addr_t, Type data_t,

@@ -26,6 +26,25 @@
 
 namespace specsyn {
 
+/// The signal-naming contract of generated buses. Every bus `B` owns the
+/// six-signal bundle `B_start/B_done/B_rd/B_wr/B_addr/B_data`; an arbitrated
+/// bus additionally owns one `B_req_<master>`/`B_ack_<master>` pair per
+/// master (see arbiter_gen.h). These suffixes are the *only* coupling between
+/// the refiner's generated protocols and the observability layer
+/// (src/obs/bus_trace.h), which reconstructs buses, masters and transactions
+/// from signal names alone — change them here and both sides follow.
+namespace bus_naming {
+inline constexpr const char* kStart = "_start";
+inline constexpr const char* kDone = "_done";
+inline constexpr const char* kRd = "_rd";
+inline constexpr const char* kWr = "_wr";
+inline constexpr const char* kAddr = "_addr";
+inline constexpr const char* kData = "_data";
+/// Arbitration lines embed the master identity: <bus>_req_<master>.
+inline constexpr const char* kReq = "_req_";
+inline constexpr const char* kAck = "_ack_";
+}  // namespace bus_naming
+
 /// Signal names of one bus's bundle.
 struct BusSignals {
   std::string start, done, rd, wr, addr, data;

@@ -9,6 +9,17 @@
 
 namespace specsyn {
 
+// Interned id of the innermost active behavior — the attribution carried by
+// slot-observer events. Observed path only; walks the (shallow) frame stack.
+uint32_t Simulator::innermost_behavior_id(const Process& p) {
+  for (auto it = p.stack.rbegin(); it != p.stack.rend(); ++it) {
+    if (it->kind == Frame::Kind::Behavior && it->lbehavior != nullptr) {
+      return it->lbehavior->id;
+    }
+  }
+  return UINT32_MAX;
+}
+
 Simulator::Frame& Simulator::innermost_call(Process& p) {
   for (auto it = p.stack.rbegin(); it != p.stack.rend(); ++it) {
     if (it->kind == Frame::Kind::Call) return *it;
@@ -134,6 +145,9 @@ void Simulator::lstep(Process& p) {
           for (SimObserver* o : observers_) {
             o->on_behavior_start(b.src->name, now_);
           }
+          for (SlotObserver* o : slot_observers_) {
+            o->on_behavior_start(b.id, p.id, now_);
+          }
         }
         switch (b.kind) {
           case BehaviorKind::Leaf: {
@@ -171,6 +185,9 @@ void Simulator::lstep(Process& p) {
         if constexpr (Obs) {
           for (SimObserver* o : observers_) {
             o->on_behavior_end(b.src->name, now_);
+          }
+          for (SlotObserver* o : slot_observers_) {
+            o->on_behavior_end(b.id, p.id, now_);
           }
         }
         ++completions_[b.id];
@@ -254,6 +271,15 @@ void Simulator::lexec_stmt(const LStmt& s, Process& p) {
     }
     case Stmt::Kind::SignalAssign: {
       const uint64_t v = leval<Obs>(s.expr, p);
+      if constexpr (Obs) {
+        if (!slot_observers_.empty()) {
+          const uint64_t wrapped = signals_.type_of(s.signal).wrap(v);
+          const uint32_t behavior = innermost_behavior_id(p);
+          for (SlotObserver* o : slot_observers_) {
+            o->on_signal_schedule(s.signal, behavior, now_, wrapped);
+          }
+        }
+      }
       schedule_signal(s.signal, v, now_ + cfg_.signal_delay);
       ++f.idx;
       enqueue(p, now_ + cfg_.stmt_cost);

@@ -43,6 +43,15 @@ Simulator::~Simulator() = default;
 
 void Simulator::add_observer(SimObserver* obs) { observers_.push_back(obs); }
 
+void Simulator::add_slot_observer(SlotObserver* obs) {
+  if (!prog_) {
+    throw SpecError(
+        "add_slot_observer: slot-indexed observation requires the lowered "
+        "interpreter (SimConfig::use_lowering)");
+  }
+  slot_observers_.push_back(obs);
+}
+
 void Simulator::build_tables() {
   for (const VarDecl* v : spec_.all_vars()) {
     const size_t idx = vars_.add(v->name, v->type, v->init);
@@ -111,6 +120,10 @@ SimResult Simulator::run() {
   ran_ = true;
 
   SimResult result;
+  if (!slot_observers_.empty()) {
+    const SlotObserver::Binding binding{&vars_, &signals_, prog_.get(), &cfg_};
+    for (SlotObserver* o : slot_observers_) o->on_bind(binding);
+  }
   if (spec_.top) {
     root_ = &spawn(spec_.top.get(), prog_ ? prog_->root() : nullptr, nullptr);
     enqueue(*root_, 0);
@@ -118,7 +131,7 @@ SimResult Simulator::run() {
 
   // Pick the stepping variant once: lowered vs legacy, and (for the lowered
   // path) observed vs unobserved, so the steady state never re-tests either.
-  const bool observed = !observers_.empty();
+  const bool observed = !observers_.empty() || !slot_observers_.empty();
   void (Simulator::*step_fn)(Process&) =
       prog_ ? (observed ? &Simulator::lstep<true> : &Simulator::lstep<false>)
             : &Simulator::step;
@@ -144,6 +157,10 @@ SimResult Simulator::run() {
             o->on_signal_change(signals_.name_of(ev.signal), now_,
                                 signals_.get(ev.signal));
           }
+          for (SlotObserver* o : slot_observers_) {
+            o->on_signal_commit(static_cast<uint32_t>(ev.signal), now_,
+                                signals_.get(ev.signal));
+          }
         }
         wake_sensitive(ev.signal, now_);
       }
@@ -166,6 +183,8 @@ SimResult Simulator::run() {
       break;
     }
   }
+
+  for (SlotObserver* o : slot_observers_) o->on_run_end(now_);
 
   result.end_time = now_;
   result.steps = steps_;

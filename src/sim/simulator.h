@@ -77,6 +77,64 @@ class SimObserver {
   }
 };
 
+class Program;
+
+/// Slot-indexed observation callbacks, the fast seam under `src/obs/`.
+///
+/// Unlike SimObserver (whose callbacks speak spec-unique *names* and fire
+/// from both interpreters), a SlotObserver receives dense slot indices and
+/// interned behavior ids and resolves them against the simulator's tables
+/// exactly once, in on_bind — names are materialized only when a report or
+/// trace is exported. Slot callbacks are fired by the *lowered* interpreter
+/// (and the kernel's signal-commit loop), so attaching one requires
+/// `SimConfig::use_lowering`; add_slot_observer throws otherwise. Attaching
+/// any observer of either kind selects the observed stepping variant for the
+/// whole run — an unobserved run still contains no observer dispatch at all.
+class SlotObserver {
+ public:
+  virtual ~SlotObserver() = default;
+
+  /// Slot/id authorities, valid for the whole run. `prog` is never null.
+  struct Binding {
+    const VarTable* vars = nullptr;
+    const SignalTable* signals = nullptr;
+    const Program* prog = nullptr;
+    const SimConfig* cfg = nullptr;
+  };
+
+  /// Called once at the start of run(), before any event fires.
+  virtual void on_bind(const Binding& b) { (void)b; }
+
+  /// A signal update committed by the kernel and *visibly changed* (same
+  /// edge discipline as SimObserver::on_signal_change). `value` is wrapped.
+  virtual void on_signal_commit(uint32_t slot, uint64_t time, uint64_t value) {
+    (void)slot; (void)time; (void)value;
+  }
+
+  /// A `<=` signal assignment executed by a process — fires at schedule
+  /// time (the commit lands `signal_delay` later and may be absorbed by an
+  /// equal value). `behavior` is the interned id of the innermost active
+  /// behavior; this is what attributes a bus handshake to its master.
+  virtual void on_signal_schedule(uint32_t slot, uint32_t behavior,
+                                  uint64_t time, uint64_t value) {
+    (void)slot; (void)behavior; (void)time; (void)value;
+  }
+
+  /// Behavior entry/exit with the interned id and the executing process.
+  virtual void on_behavior_start(uint32_t behavior, uint64_t process,
+                                 uint64_t time) {
+    (void)behavior; (void)process; (void)time;
+  }
+  virtual void on_behavior_end(uint32_t behavior, uint64_t process,
+                               uint64_t time) {
+    (void)behavior; (void)process; (void)time;
+  }
+
+  /// Called once when the run ends (quiescent or max-cycles), with the final
+  /// simulation time — the denominator for utilization-style metrics.
+  virtual void on_run_end(uint64_t end_time) { (void)end_time; }
+};
+
 /// One committed write to an `observable` variable.
 struct WriteEvent {
   std::string var;
@@ -139,6 +197,10 @@ class Simulator {
   /// Observers are borrowed; they must outlive run().
   void add_observer(SimObserver* obs);
 
+  /// Slot-indexed observers (src/obs/). Requires the lowered path — throws
+  /// SpecError when the simulator was built with use_lowering off.
+  void add_slot_observer(SlotObserver* obs);
+
   /// Runs to quiescence (or max_cycles). May be called once per Simulator.
   SimResult run();
 
@@ -178,12 +240,14 @@ class Simulator {
   void lenter_behavior(const LBehavior& b, Process& p);
   void lblock_on(Process& p, const LStmt& s);
   Frame& innermost_call(Process& p);
+  static uint32_t innermost_behavior_id(const Process& p);
 
   const std::string& current_behavior(const Process& p) const;
 
   const Specification& spec_;
   SimConfig cfg_;
   std::vector<SimObserver*> observers_;
+  std::vector<SlotObserver*> slot_observers_;
 
   VarTable vars_;
   SignalTable signals_;

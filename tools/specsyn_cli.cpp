@@ -2,9 +2,20 @@
 //
 //   specsyn check    <file.spec>                     parse + validate + stats
 //   specsyn print    <file.spec>                     canonical pretty-print
-//   specsyn simulate <file.spec>                     run and report results
+//   specsyn simulate <file.spec> [options]           run and report results
 //   specsyn graph    <file.spec> [partition opts]    Graphviz DOT export
 //   specsyn refine   <file.spec> [options]           full model refinement
+//
+// simulate options:
+//   --trace FILE           write a Perfetto-loadable Chrome trace-event JSON
+//                          (behavior tracks + decoded bus transactions)
+//   --metrics              print the per-bus utilization/contention table
+//   --metrics-json FILE    write the same bus metrics as JSON
+//   --max-cycles N         stop the run after N cycles (default 50M)
+//   --clock-hz HZ          nominal clock for cycle->time conversion (100e6)
+//   --vcd FILE             dump a VCD waveform of every signal
+//   --no-lowering          run the legacy tree-walking interpreter
+//                          (slot-indexed tracing requires lowering)
 //
 // refine options:
 //   --model N              implementation model 1..4 (default 1)
@@ -16,6 +27,7 @@
 //   --ratio balanced|local|global   auto-partition to a ratio goal instead
 //   --asics N              allocate N ASICs instead of PROC+ASIC
 //   --vhdl                 emit VHDL-93 instead of SpecLang
+//   --report               emit the architecture report instead of the spec
 //   --rates                print the per-bus transfer-rate table
 //   --verify               check functional equivalence (exit 1 on mismatch)
 //   -o FILE                write primary output to FILE (default stdout)
@@ -37,6 +49,9 @@
 #include "printer/printer.h"
 #include "printer/report.h"
 #include "printer/vhdl.h"
+#include "obs/bus_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
 #include "refine/refiner.h"
 #include "sim/equivalence.h"
 #include "sim/vcd.h"
@@ -60,10 +75,19 @@ commands:
   check    <file.spec>   parse, validate, print summary statistics
   print    <file.spec>   canonical pretty-print
   simulate <file.spec>   run the discrete-event simulator, report results
-                         (--vcd FILE dumps a waveform; --no-lowering runs
-                         the legacy tree-walking interpreter)
   graph    <file.spec>   Graphviz DOT of the access graph
   refine   <file.spec>   transform into an implementation model
+
+simulate options:
+  --trace FILE           Perfetto-loadable Chrome trace-event JSON: behavior
+                         tracks plus decoded bus transactions and counters
+  --metrics              per-bus utilization / contention / grant table
+  --metrics-json FILE    the same bus metrics as JSON
+  --max-cycles N         stop after N cycles (default 50000000)
+  --clock-hz HZ          nominal clock for cycle->time conversion (100e6)
+  --vcd FILE             dump a VCD waveform of every signal
+  --no-lowering          run the legacy tree-walking interpreter
+                         (slot-indexed tracing requires lowering)
 
 refine options:
   --model N ; --protocol hs|bs ; --scheme loop|wrapper ; --no-inline
@@ -95,7 +119,12 @@ struct Args {
   bool rates = false;
   bool verify = false;
   bool use_lowering = true;
+  bool metrics = false;
+  uint64_t max_cycles = 0;  // 0 => SimConfig default
+  double clock_hz = 0.0;    // 0 => SimConfig default
   std::string vcd_file;
+  std::string trace_file;
+  std::string metrics_json_file;
   size_t asics = 0;  // 0 => PROC+ASIC
   std::vector<std::pair<std::string, size_t>> assigns;
   std::vector<std::pair<std::string, size_t>> var_pins;
@@ -165,6 +194,32 @@ int parse_args(int argc, char** argv, Args& a) {
       const char* v = next();
       if (!v) return 2;
       a.vcd_file = v;
+    } else if (f == "--trace") {
+      const char* v = next();
+      if (!v) return 2;
+      a.trace_file = v;
+    } else if (f == "--metrics") {
+      a.metrics = true;
+    } else if (f == "--metrics-json") {
+      const char* v = next();
+      if (!v) return 2;
+      a.metrics_json_file = v;
+    } else if (f == "--max-cycles") {
+      const char* v = next();
+      if (!v) return 2;
+      a.max_cycles = std::strtoull(v, nullptr, 10);
+      if (a.max_cycles == 0) {
+        std::fprintf(stderr, "--max-cycles expects a positive cycle count\n");
+        return 2;
+      }
+    } else if (f == "--clock-hz") {
+      const char* v = next();
+      if (!v) return 2;
+      a.clock_hz = std::strtod(v, nullptr);
+      if (a.clock_hz <= 0.0) {
+        std::fprintf(stderr, "--clock-hz expects a positive frequency\n");
+        return 2;
+      }
     } else if (f == "--asics") {
       const char* v = next();
       if (!v) return 2;
@@ -261,11 +316,23 @@ int cmd_check(const Args& a, const Specification& spec) {
 int cmd_simulate(const Args& a, const Specification& spec) {
   SimConfig cfg;
   cfg.use_lowering = a.use_lowering;
+  if (a.max_cycles != 0) cfg.max_cycles = a.max_cycles;
+  if (a.clock_hz > 0.0) cfg.clock_hz = a.clock_hz;
   Simulator sim(spec, cfg);
   std::unique_ptr<VcdRecorder> vcd;
   if (!a.vcd_file.empty()) {
     vcd = std::make_unique<VcdRecorder>(spec);
     sim.add_observer(vcd.get());
+  }
+  std::unique_ptr<BusTracer> tracer;
+  std::unique_ptr<TraceExporter> exporter;
+  if (!a.trace_file.empty() || a.metrics || !a.metrics_json_file.empty()) {
+    tracer = std::make_unique<BusTracer>(spec);
+    sim.add_slot_observer(tracer.get());
+  }
+  if (!a.trace_file.empty()) {
+    exporter = std::make_unique<TraceExporter>(cfg.clock_hz);
+    sim.add_slot_observer(exporter.get());
   }
   SimResult r = sim.run();
   if (vcd) {
@@ -273,6 +340,25 @@ int cmd_simulate(const Args& a, const Specification& spec) {
     out << vcd->str();
     std::fprintf(stderr, "wrote %s (%zu value changes)\n", a.vcd_file.c_str(),
                  vcd->change_count());
+  }
+  if (exporter) {
+    exporter->write(a.trace_file, tracer.get());
+    std::fprintf(stderr, "wrote %s (%zu spans, %zu bus transactions)\n",
+                 a.trace_file.c_str(), exporter->spans().size(),
+                 tracer->transactions().size());
+  }
+  if (tracer && (a.metrics || !a.metrics_json_file.empty())) {
+    const MetricsReport m = MetricsReport::from(*tracer);
+    if (a.metrics) std::fputs(m.table().c_str(), stdout);
+    if (!a.metrics_json_file.empty()) {
+      std::ofstream out(a.metrics_json_file);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", a.metrics_json_file.c_str());
+        return 1;
+      }
+      out << m.to_json() << "\n";
+      std::fprintf(stderr, "wrote %s\n", a.metrics_json_file.c_str());
+    }
   }
   if (!r.blocked.empty() && !r.root_completed) {
     std::printf("blocked processes:\n");
