@@ -1,0 +1,730 @@
+#include "analysis/context.h"
+
+#include <algorithm>
+
+namespace specsyn::analysis {
+
+namespace {
+
+constexpr uint32_t kNoBus = UINT32_MAX;
+
+void add_unique(std::vector<const Behavior*>& v, const Behavior* b) {
+  if (std::find(v.begin(), v.end(), b) == v.end()) v.push_back(b);
+}
+
+/// Flattens a (possibly nested) chain of `op` applications into leaves.
+void flatten(const Expr& e, BinOp op, std::vector<const Expr*>& out) {
+  if (e.kind == Expr::Kind::Binary && e.bin_op == op) {
+    flatten(*e.args[0], op, out);
+    flatten(*e.args[1], op, out);
+    return;
+  }
+  out.push_back(&e);
+}
+
+/// Matches `<name> == <lit>` (either operand order); returns the NameRef.
+const Expr* match_eq_lit(const Expr& e, uint64_t& lit_out) {
+  if (e.kind != Expr::Kind::Binary || e.bin_op != BinOp::Eq) return nullptr;
+  const Expr& l = *e.args[0];
+  const Expr& r = *e.args[1];
+  if (l.kind == Expr::Kind::NameRef && r.kind == Expr::Kind::IntLit) {
+    lit_out = r.int_value;
+    return &l;
+  }
+  if (r.kind == Expr::Kind::NameRef && l.kind == Expr::Kind::IntLit) {
+    lit_out = l.int_value;
+    return &r;
+  }
+  return nullptr;
+}
+
+/// Matches `<name> <op> <lit>` for a specific comparison op.
+const Expr* match_cmp_lit(const Expr& e, BinOp op, uint64_t& lit_out) {
+  if (e.kind != Expr::Kind::Binary || e.bin_op != op) return nullptr;
+  if (e.args[0]->kind != Expr::Kind::NameRef ||
+      e.args[1]->kind != Expr::Kind::IntLit) {
+    return nullptr;
+  }
+  lit_out = e.args[1]->int_value;
+  return e.args[0].get();
+}
+
+}  // namespace
+
+bool SlavePort::window_covers(uint64_t addr) const {
+  if (full_range) return true;
+  for (const AddrRange& r : match) {
+    if (r.contains(addr)) return true;
+  }
+  return false;
+}
+
+// Walker state. Copied wholesale at Call boundaries (bus holds and pending
+// transfer directions carry into the callee; bindings and loop bounds are
+// rebuilt for the callee's own names).
+struct Context::Scope {
+  const Behavior* leaf = nullptr;
+  int call_depth = 0;
+  /// in-param name -> caller argument expression (already caller-resolved).
+  std::map<std::string, const Expr*> bindings;
+  /// out-param name -> caller target variable name.
+  std::map<std::string, std::string> renames;
+  /// `while (k < N)` binds k -> N inside the body (ByteSerial beat loops).
+  std::map<std::string, uint64_t> loop_bounds;
+  /// Buses currently held: req asserted, start mid-transfer, or being served.
+  std::set<uint32_t> held;
+  /// Per-bus direction lines currently asserted: bit0 = rd, bit1 = wr.
+  std::map<uint32_t, uint8_t> pending_dir;
+  /// accesses_ index of an addr drive still awaiting its rd/wr direction.
+  std::map<uint32_t, size_t> open_access;
+  /// Serve-loop context: bus being served and its slaves_ index.
+  uint32_t serving = kNoBus;
+  size_t port_idx = SIZE_MAX;
+  uint8_t decode_dir = 0;  ///< inside `if rd==1` (1) / `if wr==1` (2)
+  bool have_addr = false;
+  AddrRange decode_addr;
+  /// Req-signal if-chain observed per bus (arbiter priority recognition).
+  std::map<uint32_t, std::vector<int32_t>> req_chain;
+};
+
+Context::Context(const Specification& spec)
+    : spec_(&spec), topo_(BusTopology::discover(spec)) {
+  for (const VarDecl* v : spec.all_vars()) {
+    var_names_.insert(v->name);
+    init_values_.emplace(v->name, v->init);
+  }
+  for (const SignalDecl* s : spec.all_signals()) {
+    signal_names_.insert(s->name);
+    init_values_.emplace(s->name, s->init);
+  }
+  if (spec.top) index_behaviors(*spec.top, nullptr);
+  walk_spec();
+}
+
+void Context::index_behaviors(const Behavior& b, const Behavior* parent) {
+  parent_[&b] = parent;
+  std::vector<const Behavior*> chain =
+      parent != nullptr ? chain_[parent] : std::vector<const Behavior*>{};
+  chain.push_back(&b);
+  chain_[&b] = std::move(chain);
+  for (const auto& c : b.children) index_behaviors(*c, &b);
+}
+
+bool Context::concurrent(const Behavior* a, const Behavior* b) const {
+  if (a == b) return false;
+  const auto ia = chain_.find(a);
+  const auto ib = chain_.find(b);
+  if (ia == chain_.end() || ib == chain_.end()) return false;
+  const auto& ca = ia->second;
+  const auto& cb = ib->second;
+  size_t common = 0;
+  while (common < ca.size() && common < cb.size() && ca[common] == cb[common]) {
+    ++common;
+  }
+  if (common == 0) return false;                       // different roots
+  if (common == ca.size() || common == cb.size()) return false;  // ancestor
+  return ca[common - 1]->kind == BehaviorKind::Concurrent;
+}
+
+std::string Context::path_of(const Behavior* b) const {
+  const auto it = chain_.find(b);
+  if (it == chain_.end()) return b != nullptr ? b->name : std::string{};
+  std::string path;
+  for (const Behavior* n : it->second) {
+    if (!path.empty()) path += '/';
+    path += n->name;
+  }
+  return path;
+}
+
+const Behavior* Context::parent_of(const Behavior* b) const {
+  const auto it = parent_.find(b);
+  return it == parent_.end() ? nullptr : it->second;
+}
+
+std::vector<int32_t> Context::arbiter_chain(uint32_t bus) const {
+  const auto it = arbiter_chains_.find(bus);
+  return it == arbiter_chains_.end() ? std::vector<int32_t>{} : it->second;
+}
+
+bool Context::const_eval(const Expr& e, uint64_t& out) const {
+  switch (e.kind) {
+    case Expr::Kind::IntLit:
+      out = e.int_value;
+      return true;
+    case Expr::Kind::NameRef: {
+      const auto it = init_values_.find(e.name);
+      if (it == init_values_.end()) return false;
+      out = it->second;
+      return true;
+    }
+    case Expr::Kind::Unary: {
+      uint64_t v = 0;
+      if (!const_eval(*e.args[0], v)) return false;
+      switch (e.un_op) {
+        case UnOp::LogicalNot: out = v == 0 ? 1 : 0; return true;
+        case UnOp::BitNot: out = ~v; return true;
+        case UnOp::Neg: out = ~v + 1; return true;
+      }
+      return false;
+    }
+    case Expr::Kind::Binary: {
+      uint64_t l = 0, r = 0;
+      if (!const_eval(*e.args[0], l) || !const_eval(*e.args[1], r)) {
+        return false;
+      }
+      switch (e.bin_op) {
+        case BinOp::Add: out = l + r; return true;
+        case BinOp::Sub: out = l - r; return true;
+        case BinOp::Mul: out = l * r; return true;
+        case BinOp::Div:
+          if (r == 0) return false;
+          out = l / r;
+          return true;
+        case BinOp::Mod:
+          if (r == 0) return false;
+          out = l % r;
+          return true;
+        case BinOp::And: out = l & r; return true;
+        case BinOp::Or: out = l | r; return true;
+        case BinOp::Xor: out = l ^ r; return true;
+        case BinOp::Shl: out = r >= 64 ? 0 : l << r; return true;
+        case BinOp::Shr: out = r >= 64 ? 0 : l >> r; return true;
+        case BinOp::Lt: out = l < r ? 1 : 0; return true;
+        case BinOp::Le: out = l <= r ? 1 : 0; return true;
+        case BinOp::Gt: out = l > r ? 1 : 0; return true;
+        case BinOp::Ge: out = l >= r ? 1 : 0; return true;
+        case BinOp::Eq: out = l == r ? 1 : 0; return true;
+        case BinOp::Ne: out = l != r ? 1 : 0; return true;
+        case BinOp::LogicalAnd: out = (l != 0 && r != 0) ? 1 : 0; return true;
+        case BinOp::LogicalOr: out = (l != 0 || r != 0) ? 1 : 0; return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+const Expr* Context::resolve(const Expr& e, const Scope& scope) const {
+  const Expr* cur = &e;
+  int fuel = 8;
+  while (fuel-- > 0 && cur->kind == Expr::Kind::NameRef) {
+    const auto it = scope.bindings.find(cur->name);
+    if (it == scope.bindings.end()) break;
+    cur = it->second;
+  }
+  return cur;
+}
+
+MasterFacts& Context::master_facts(const Behavior* b, uint32_t bus) {
+  const auto key = std::make_pair(b, bus);
+  const auto it = master_index_.find(key);
+  if (it != master_index_.end()) return masters_[it->second];
+  master_index_.emplace(key, masters_.size());
+  masters_.push_back({});
+  masters_.back().behavior = b;
+  masters_.back().bus = bus;
+  return masters_.back();
+}
+
+SlavePort& Context::slave_port(const Behavior* b, uint32_t bus) {
+  const auto key = std::make_pair(b, bus);
+  const auto it = slave_index_.find(key);
+  if (it != slave_index_.end()) return slaves_[it->second];
+  slave_index_.emplace(key, slaves_.size());
+  slaves_.push_back({});
+  slaves_.back().behavior = b;
+  slaves_.back().bus = bus;
+  return slaves_.back();
+}
+
+void Context::hold_acquire(uint32_t bus, Scope& scope) {
+  for (const uint32_t held : scope.held) {
+    if (held != bus) hold_edges_[held].insert(bus);
+  }
+  scope.held.insert(bus);
+}
+
+void Context::close_open_accesses(Scope& scope) {
+  for (const auto& [bus, idx] : scope.open_access) {
+    (void)bus;
+    MasterAccess& a = accesses_[idx];
+    if (!a.is_read && !a.is_write) {
+      a.is_read = true;
+      a.is_write = true;
+    }
+  }
+  scope.open_access.clear();
+}
+
+void Context::record_var_access(const std::string& name, bool is_write,
+                                Scope& scope) {
+  std::string resolved = name;
+  const auto rn = scope.renames.find(name);
+  if (rn != scope.renames.end()) resolved = rn->second;
+  if (var_names_.count(resolved) == 0) return;  // proc local / param
+  var_access_[resolved].push_back(
+      {scope.leaf, is_write, scope.serving != kNoBus});
+}
+
+void Context::note_signal_write(const std::string& name, const Behavior* b,
+                                const Expr* value, Scope& scope) {
+  if (signal_names_.count(name) == 0) return;
+  SignalUse& use = signal_use_[name];
+  add_unique(use.writers, b);
+  const Expr* v = value != nullptr ? resolve(*value, scope) : nullptr;
+  if (v != nullptr && v->kind == Expr::Kind::IntLit) {
+    use.literal_levels.insert(v->int_value);
+    use.levels_by_writer[b].insert(v->int_value);
+  }
+}
+
+void Context::note_expr_reads(const Expr& e, Scope& scope) {
+  std::vector<std::string> names;
+  e.collect_names(names);
+  for (const std::string& n : names) {
+    if (signal_names_.count(n) != 0) {
+      add_unique(signal_use_[n].readers, scope.leaf);
+    } else {
+      record_var_access(n, /*is_write=*/false, scope);
+    }
+  }
+}
+
+size_t Context::try_serve_loop(const Stmt& loop, Scope& scope) {
+  if (loop.then_block.empty()) return SIZE_MAX;
+  const Stmt& first = *loop.then_block.front();
+  if (first.kind != Stmt::Kind::Wait || !first.expr) return SIZE_MAX;
+
+  std::vector<const Expr*> conjuncts;
+  flatten(*resolve(*first.expr, scope), BinOp::LogicalAnd, conjuncts);
+
+  uint32_t bus = kNoBus;
+  std::vector<AddrRange> match;
+  std::vector<uint64_t> lone_lo, lone_hi;
+  for (const Expr* c : conjuncts) {
+    uint64_t v = 0;
+    if (const Expr* n = match_eq_lit(*c, v)) {
+      const BusTopology::SignalRole role = topo_.role_of(n->name);
+      if (role.role == BusSignalRole::Start && v == 1) {
+        if (bus != kNoBus && bus != role.bus) return SIZE_MAX;
+        bus = role.bus;
+        continue;
+      }
+      if (role.role == BusSignalRole::Addr) {
+        match.push_back({v, v});
+        continue;
+      }
+      return SIZE_MAX;
+    }
+    if (const Expr* n = match_cmp_lit(*c, BinOp::Ge, v)) {
+      if (topo_.role_of(n->name).role != BusSignalRole::Addr) return SIZE_MAX;
+      lone_lo.push_back(v);
+      continue;
+    }
+    if (const Expr* n = match_cmp_lit(*c, BinOp::Le, v)) {
+      if (topo_.role_of(n->name).role != BusSignalRole::Addr) return SIZE_MAX;
+      lone_hi.push_back(v);
+      continue;
+    }
+    // An OR of point / range matches (the memory server's multi-var guard).
+    std::vector<const Expr*> terms;
+    flatten(*c, BinOp::LogicalOr, terms);
+    if (terms.size() < 2) return SIZE_MAX;
+    for (const Expr* t : terms) {
+      if (const Expr* n = match_eq_lit(*t, v)) {
+        if (topo_.role_of(n->name).role != BusSignalRole::Addr) {
+          return SIZE_MAX;
+        }
+        match.push_back({v, v});
+        continue;
+      }
+      std::vector<const Expr*> pair;
+      flatten(*t, BinOp::LogicalAnd, pair);
+      if (pair.size() != 2) return SIZE_MAX;
+      uint64_t lo = 0, hi = 0;
+      const Expr* nl = match_cmp_lit(*pair[0], BinOp::Ge, lo);
+      const Expr* nh = match_cmp_lit(*pair[1], BinOp::Le, hi);
+      if (nl == nullptr || nh == nullptr ||
+          topo_.role_of(nl->name).role != BusSignalRole::Addr ||
+          topo_.role_of(nh->name).role != BusSignalRole::Addr) {
+        return SIZE_MAX;
+      }
+      match.push_back({lo, hi});
+    }
+  }
+  if (bus == kNoBus) return SIZE_MAX;
+  if (lone_lo.size() != lone_hi.size()) return SIZE_MAX;
+  for (size_t i = 0; i < lone_lo.size(); ++i) {
+    match.push_back({lone_lo[i], lone_hi[i]});
+  }
+
+  SlavePort& port = slave_port(scope.leaf, bus);
+  port.serve_loop = true;
+  port.waits_start = true;
+  port.full_range = match.empty();
+  port.match = std::move(match);
+  return slave_index_.at(std::make_pair(scope.leaf, bus));
+}
+
+void Context::walk_spec() {
+  std::vector<const Behavior*> all;
+  if (spec_->top) {
+    for (const Behavior* b : spec_->top->all_behaviors()) all.push_back(b);
+  }
+  for (const Behavior* b : all) {
+    Scope scope;
+    scope.leaf = b;
+    if (b->is_leaf()) {
+      walk_block(b->body, scope);
+      close_open_accesses(scope);
+      // A leaf that branches on req lines and drives acks is the bus's
+      // arbiter; its observed if-chain is the priority order.
+      for (auto& [bus, chain] : scope.req_chain) {
+        arbiter_chains_.emplace(bus, std::move(chain));
+      }
+    }
+    for (const Transition& t : b->transitions) {
+      if (t.guard) note_expr_reads(*t.guard, scope);
+    }
+  }
+}
+
+void Context::walk_block(const StmtList& stmts, Scope& scope) {
+  for (const StmtPtr& s : stmts) {
+    if (s) walk_stmt(*s, scope);
+  }
+}
+
+void Context::walk_stmt(const Stmt& s, Scope& scope) {
+  switch (s.kind) {
+    case Stmt::Kind::Assign: {
+      if (s.expr) note_expr_reads(*s.expr, scope);
+      record_var_access(s.target, /*is_write=*/true, scope);
+      // Slave write-case decode: `var := f(<bus>_data)` under an addr case
+      // inside the `if wr == 1` branch.
+      if (scope.serving != kNoBus && scope.decode_dir == 2 &&
+          scope.have_addr && scope.port_idx != SIZE_MAX &&
+          var_names_.count(s.target) != 0 && s.expr) {
+        const std::string data =
+            topo_.buses[scope.serving].name + bus_naming::kData;
+        if (s.expr->references(data)) {
+          SlavePort& port = slaves_[scope.port_idx];
+          for (uint64_t a = scope.decode_addr.lo; a <= scope.decode_addr.hi;
+               ++a) {
+            port.write_cases[a] = s.target;
+          }
+        }
+      }
+      return;
+    }
+    case Stmt::Kind::SignalAssign: {
+      if (s.expr) note_expr_reads(*s.expr, scope);
+      note_signal_write(s.target, scope.leaf, s.expr.get(), scope);
+      const BusTopology::SignalRole role = topo_.role_of(s.target);
+      const Expr* v = s.expr ? resolve(*s.expr, scope) : nullptr;
+      const bool lit = v != nullptr && v->kind == Expr::Kind::IntLit;
+      const uint64_t level = lit ? v->int_value : 0;
+      switch (role.role) {
+        case BusSignalRole::Start: {
+          MasterFacts& mf = master_facts(scope.leaf, role.bus);
+          if (lit && level == 1) {
+            mf.drives_start_1 = true;
+            hold_acquire(role.bus, scope);
+            // The transfer is launched: a still-undirected addr drive stays
+            // that way (counts as both read and write).
+            const auto open = scope.open_access.find(role.bus);
+            if (open != scope.open_access.end()) {
+              MasterAccess& a = accesses_[open->second];
+              if (!a.is_read && !a.is_write) {
+                a.is_read = true;
+                a.is_write = true;
+              }
+              scope.open_access.erase(open);
+            }
+          } else if (lit && level == 0) {
+            mf.drives_start_0 = true;
+            scope.held.erase(role.bus);
+          }
+          return;
+        }
+        case BusSignalRole::Done: {
+          SlavePort& sp = slave_port(scope.leaf, role.bus);
+          if (lit && level == 1) sp.drives_done_1 = true;
+          if (lit && level == 0) sp.drives_done_0 = true;
+          return;
+        }
+        case BusSignalRole::Rd:
+        case BusSignalRole::Wr: {
+          MasterFacts& mf = master_facts(scope.leaf, role.bus);
+          const uint8_t bit = role.role == BusSignalRole::Rd ? 1 : 2;
+          if (role.role == BusSignalRole::Rd) mf.drives_rd = true;
+          else mf.drives_wr = true;
+          if (lit && level == 1) {
+            scope.pending_dir[role.bus] |= bit;
+            const auto open = scope.open_access.find(role.bus);
+            if (open != scope.open_access.end()) {
+              MasterAccess& a = accesses_[open->second];
+              if (bit == 1) a.is_read = true;
+              else a.is_write = true;
+              scope.open_access.erase(open);
+            }
+          } else if (lit && level == 0) {
+            scope.pending_dir[role.bus] &= static_cast<uint8_t>(~bit);
+          }
+          return;
+        }
+        case BusSignalRole::Addr: {
+          MasterFacts& mf = master_facts(scope.leaf, role.bus);
+          mf.drives_addr = true;
+          MasterAccess access;
+          access.behavior = scope.leaf;
+          access.bus = role.bus;
+          if (lit) {
+            access.resolved = true;
+            access.range = {level, level};
+          } else if (v != nullptr && v->kind == Expr::Kind::Binary &&
+                     v->bin_op == BinOp::Add) {
+            // ByteSerial beat address: base + k with k's trip count known
+            // from the enclosing `while (k < beats)`.
+            const Expr* l = resolve(*v->args[0], scope);
+            const Expr* r = resolve(*v->args[1], scope);
+            if (l->kind != Expr::Kind::IntLit) std::swap(l, r);
+            if (l->kind == Expr::Kind::IntLit &&
+                r->kind == Expr::Kind::NameRef) {
+              const auto bound = scope.loop_bounds.find(r->name);
+              if (bound != scope.loop_bounds.end() && bound->second > 0) {
+                access.resolved = true;
+                access.range = {l->int_value,
+                                l->int_value + bound->second - 1};
+              }
+            }
+          }
+          const uint8_t dir = scope.pending_dir[role.bus];
+          access.is_read = (dir & 1) != 0;
+          access.is_write = (dir & 2) != 0;
+          accesses_.push_back(access);
+          if (dir == 0) scope.open_access[role.bus] = accesses_.size() - 1;
+          return;
+        }
+        case BusSignalRole::Data: {
+          // Slave read-case decode: `<bus>_data <= f(var)` under an addr
+          // case inside the `if rd == 1` branch.
+          if (scope.serving == role.bus && scope.decode_dir == 1 &&
+              scope.have_addr && scope.port_idx != SIZE_MAX && s.expr) {
+            std::vector<std::string> names;
+            s.expr->collect_names(names);
+            std::string served;
+            bool unique = true;
+            for (const std::string& n : names) {
+              if (var_names_.count(n) == 0) continue;
+              if (!served.empty() && served != n) unique = false;
+              served = n;
+            }
+            if (unique && !served.empty()) {
+              SlavePort& port = slaves_[scope.port_idx];
+              for (uint64_t a = scope.decode_addr.lo;
+                   a <= scope.decode_addr.hi; ++a) {
+                port.read_cases[a] = served;
+              }
+            }
+          }
+          return;
+        }
+        case BusSignalRole::Req: {
+          MasterFacts& mf = master_facts(scope.leaf, role.bus);
+          if (lit && level == 1) {
+            mf.req_asserted.insert(role.master);
+            hold_acquire(role.bus, scope);
+          } else if (lit && level == 0) {
+            mf.req_released.insert(role.master);
+            scope.held.erase(role.bus);
+          }
+          return;
+        }
+        case BusSignalRole::Ack:
+        case BusSignalRole::None:
+          return;
+      }
+      return;
+    }
+    case Stmt::Kind::If: {
+      if (s.expr) note_expr_reads(*s.expr, scope);
+      const Expr* cond = s.expr ? resolve(*s.expr, scope) : nullptr;
+      uint64_t v = 0;
+      const Expr* n = cond != nullptr ? match_eq_lit(*cond, v) : nullptr;
+      if (n != nullptr) {
+        const BusTopology::SignalRole role = topo_.role_of(n->name);
+        if (role.role == BusSignalRole::Req && v == 1) {
+          scope.req_chain[role.bus].push_back(role.master);
+        } else if (scope.serving == role.bus && v == 1 &&
+                   (role.role == BusSignalRole::Rd ||
+                    role.role == BusSignalRole::Wr)) {
+          const uint8_t saved = scope.decode_dir;
+          scope.decode_dir = role.role == BusSignalRole::Rd ? 1 : 2;
+          walk_block(s.then_block, scope);
+          scope.decode_dir = saved;
+          walk_block(s.else_block, scope);
+          return;
+        } else if (scope.serving == role.bus &&
+                   role.role == BusSignalRole::Addr) {
+          const bool saved_have = scope.have_addr;
+          const AddrRange saved_addr = scope.decode_addr;
+          scope.have_addr = true;
+          scope.decode_addr = {v, v};
+          walk_block(s.then_block, scope);
+          scope.have_addr = saved_have;
+          scope.decode_addr = saved_addr;
+          walk_block(s.else_block, scope);
+          return;
+        }
+      }
+      // ByteSerial serve decode: `if addr == base + k` with k loop-bound.
+      if (scope.serving != kNoBus && cond != nullptr &&
+          cond->kind == Expr::Kind::Binary && cond->bin_op == BinOp::Eq) {
+        const Expr* lhs = resolve(*cond->args[0], scope);
+        const Expr* rhs = resolve(*cond->args[1], scope);
+        if (rhs->kind == Expr::Kind::NameRef &&
+            topo_.role_of(rhs->name).role == BusSignalRole::Addr) {
+          std::swap(lhs, rhs);
+        }
+        if (lhs->kind == Expr::Kind::NameRef &&
+            topo_.role_of(lhs->name).role == BusSignalRole::Addr &&
+            topo_.role_of(lhs->name).bus == scope.serving &&
+            rhs->kind == Expr::Kind::Binary && rhs->bin_op == BinOp::Add) {
+          const Expr* base = resolve(*rhs->args[0], scope);
+          const Expr* idx = resolve(*rhs->args[1], scope);
+          if (base->kind != Expr::Kind::IntLit) std::swap(base, idx);
+          if (base->kind == Expr::Kind::IntLit &&
+              idx->kind == Expr::Kind::NameRef) {
+            const auto bound = scope.loop_bounds.find(idx->name);
+            if (bound != scope.loop_bounds.end() && bound->second > 0) {
+              const bool saved_have = scope.have_addr;
+              const AddrRange saved_addr = scope.decode_addr;
+              scope.have_addr = true;
+              scope.decode_addr = {base->int_value,
+                                   base->int_value + bound->second - 1};
+              walk_block(s.then_block, scope);
+              scope.have_addr = saved_have;
+              scope.decode_addr = saved_addr;
+              walk_block(s.else_block, scope);
+              return;
+            }
+          }
+        }
+      }
+      walk_block(s.then_block, scope);
+      walk_block(s.else_block, scope);
+      return;
+    }
+    case Stmt::Kind::While: {
+      if (s.expr) note_expr_reads(*s.expr, scope);
+      const Expr* cond = s.expr ? resolve(*s.expr, scope) : nullptr;
+      std::string bound_name;
+      uint64_t saved_bound = 0;
+      bool had_bound = false;
+      if (cond != nullptr && cond->kind == Expr::Kind::Binary &&
+          cond->bin_op == BinOp::Lt &&
+          cond->args[0]->kind == Expr::Kind::NameRef) {
+        const Expr* limit = resolve(*cond->args[1], scope);
+        if (limit->kind == Expr::Kind::IntLit) {
+          bound_name = cond->args[0]->name;
+          const auto it = scope.loop_bounds.find(bound_name);
+          had_bound = it != scope.loop_bounds.end();
+          if (had_bound) saved_bound = it->second;
+          scope.loop_bounds[bound_name] = limit->int_value;
+        }
+      }
+      walk_block(s.then_block, scope);
+      if (!bound_name.empty()) {
+        if (had_bound) scope.loop_bounds[bound_name] = saved_bound;
+        else scope.loop_bounds.erase(bound_name);
+      }
+      return;
+    }
+    case Stmt::Kind::Loop: {
+      const size_t port_idx = try_serve_loop(s, scope);
+      if (port_idx != SIZE_MAX) {
+        const uint32_t bus = slaves_[port_idx].bus;
+        const uint32_t saved_serving = scope.serving;
+        const size_t saved_port = scope.port_idx;
+        const bool was_held = scope.held.count(bus) != 0;
+        scope.serving = bus;
+        scope.port_idx = port_idx;
+        scope.held.insert(bus);
+        walk_block(s.then_block, scope);
+        scope.serving = saved_serving;
+        scope.port_idx = saved_port;
+        if (!was_held) scope.held.erase(bus);
+        return;
+      }
+      walk_block(s.then_block, scope);
+      return;
+    }
+    case Stmt::Kind::Wait: {
+      if (!s.expr) return;
+      waits_.push_back({scope.leaf, s.expr.get()});
+      std::vector<std::string> names;
+      s.expr->collect_names(names);
+      for (const std::string& n : names) {
+        if (signal_names_.count(n) != 0) {
+          SignalUse& use = signal_use_[n];
+          add_unique(use.readers, scope.leaf);
+          add_unique(use.waiters, scope.leaf);
+        } else {
+          record_var_access(n, /*is_write=*/false, scope);
+        }
+        const BusTopology::SignalRole role = topo_.role_of(n);
+        switch (role.role) {
+          case BusSignalRole::Done:
+            master_facts(scope.leaf, role.bus).waits_done = true;
+            break;
+          case BusSignalRole::Start:
+            slave_port(scope.leaf, role.bus).waits_start = true;
+            break;
+          case BusSignalRole::Ack:
+            master_facts(scope.leaf, role.bus).ack_waited.insert(role.master);
+            break;
+          default:
+            break;
+        }
+      }
+      return;
+    }
+    case Stmt::Kind::Call: {
+      for (const ExprPtr& a : s.args) {
+        if (a) note_expr_reads(*a, scope);
+      }
+      const Procedure* proc = spec_->find_procedure(s.callee);
+      if (proc == nullptr || scope.call_depth >= 8) return;
+      Scope inner = scope;
+      inner.call_depth = scope.call_depth + 1;
+      inner.bindings.clear();
+      inner.renames.clear();
+      inner.loop_bounds.clear();
+      for (size_t i = 0; i < proc->params.size() && i < s.args.size(); ++i) {
+        const Param& p = proc->params[i];
+        if (!s.args[i]) continue;
+        if (p.is_out) {
+          if (s.args[i]->kind == Expr::Kind::NameRef) {
+            std::string target = s.args[i]->name;
+            const auto rn = scope.renames.find(target);
+            if (rn != scope.renames.end()) target = rn->second;
+            inner.renames[p.name] = std::move(target);
+          }
+        } else {
+          inner.bindings[p.name] = resolve(*s.args[i], scope);
+        }
+      }
+      walk_block(proc->body, inner);
+      close_open_accesses(inner);
+      return;
+    }
+    case Stmt::Kind::Delay:
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Nop:
+      return;
+  }
+}
+
+}  // namespace specsyn::analysis

@@ -1,0 +1,63 @@
+// The static refinement verifier: machine-checks the structural invariants
+// the refiner promises about its output, without simulating a cycle.
+//
+// Six checkers run over one shared analysis Context:
+//
+//   protocol conformance   SA001 master handshake incomplete
+//                          SA002 slave serve loop broken / done pulse missing
+//                          SA003 arbitrated transfer without req/ack
+//                          SA004 incomplete bus signal bundle
+//   deadlock               SA010 cycle in the bus hold graph
+//                          SA011 wait condition statically unsatisfiable
+//   races                  SA020 unmediated concurrent variable access
+//   address map            SA030 overlapping slave decode windows
+//                          SA031 master address no slave decodes
+//                          SA032 slave decode no master addresses
+//   arbiter / signals      SA040 master can never be granted the bus
+//                          SA041 arbiter priority order != declared order
+//                          SA042 signal written but never read (or unused)
+//                          SA043 signal read but never written
+//   control order          SA050 moved behavior served by != 1 server
+//                          SA051 control start pulsed by != 1 stub
+//                          SA052 control handshake not 4-phase
+//
+// A clean report on a refined model is the static half of the paper's
+// functional-equivalence claim; the dynamic half stays in sim/equivalence.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spec/specification.h"
+#include "support/diagnostics.h"
+
+namespace specsyn::analysis {
+
+struct Finding {
+  std::string code;             ///< "SA001"...
+  Severity severity = Severity::Error;
+  std::string behavior;         ///< hierarchy path, may be empty
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct Report {
+  std::vector<Finding> findings;
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+  [[nodiscard]] size_t count(Severity s) const;
+  [[nodiscard]] bool has_errors() const { return count(Severity::Error) > 0; }
+  /// True when some finding carries the given code.
+  [[nodiscard]] bool has(const std::string& code) const;
+
+  void to_sink(DiagnosticSink& sink) const;
+  /// Machine-readable report for `specsyn check --json`.
+  [[nodiscard]] std::string json(const std::string& spec_name) const;
+};
+
+/// Runs every checker. `spec` must pass validate(); call on refiner output
+/// (original unrefined specifications simply have nothing to check).
+[[nodiscard]] Report analyze(const Specification& spec);
+
+}  // namespace specsyn::analysis

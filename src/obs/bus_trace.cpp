@@ -1,21 +1,11 @@
 #include "obs/bus_trace.h"
 
 #include <algorithm>
-#include <set>
 
 #include "refine/protocol.h"
 #include "sim/program.h"
 
 namespace specsyn {
-
-namespace {
-
-bool ends_with(const std::string& s, const char* suffix) {
-  const size_t n = std::char_traits<char>::length(suffix);
-  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
-}
-
-}  // namespace
 
 uint64_t latency_bucket_bound(size_t bucket) {
   return bucket + 1 < kLatencyBuckets ? uint64_t{1} << bucket : UINT64_MAX;
@@ -39,59 +29,42 @@ BusTracer::BusTracer(const Specification& spec) {
 }
 
 void BusTracer::discover_buses(const Specification& spec) {
-  std::set<std::string> names;
-  std::vector<std::string> ordered;
-  for (const SignalDecl* s : spec.all_signals()) {
-    if (names.insert(s->name).second) ordered.push_back(s->name);
-  }
-
-  // A bus is any stem with the complete six-signal bundle. Control pairs
-  // (B_start/B_done without rd/wr/addr/data) are thereby excluded.
-  for (const std::string& name : ordered) {
-    if (!ends_with(name, bus_naming::kStart)) continue;
-    const std::string stem =
-        name.substr(0, name.size() - std::string(bus_naming::kStart).size());
-    if (stem.empty()) continue;
-    const BusSignals sig = BusSignals::of(stem);
-    if (!names.count(sig.done) || !names.count(sig.rd) ||
-        !names.count(sig.wr) || !names.count(sig.addr) ||
-        !names.count(sig.data)) {
-      continue;
+  // Bus/master discovery follows the shared bus_naming contract decoder; the
+  // tracer only keeps the roles its runtime edge-following consumes (Wr and
+  // Data levels are irrelevant to transaction decoding).
+  const BusTopology topo = BusTopology::discover(spec);
+  for (const BusTopology::BusEntry& bus : topo.buses) {
+    bus_index_.emplace(bus.name, buses_.size());
+    buses_.push_back({bus.name, {}, 0, 0, 0, 0, {}});
+    for (const std::string& m : bus.masters) {
+      buses_.back().masters.push_back({m, 0, 0, 0, 0});
     }
-    const auto bus = static_cast<uint32_t>(buses_.size());
-    bus_index_.emplace(stem, bus);
-    buses_.push_back({stem, {}, 0, 0, 0, 0, {}});
-    name_roles_[sig.start] = {Role::Start, bus, -1};
-    name_roles_[sig.done] = {Role::Done, bus, -1};
-    name_roles_[sig.rd] = {Role::Rd, bus, -1};
-    name_roles_[sig.addr] = {Role::Addr, bus, -1};
   }
-
-  // Arbitration lines: <bus>_req_<master> with a matching ack. Declaration
-  // order is the arbiter's priority order (refine/arbiter_gen.h). Longest
-  // matching stem wins so a bus name that prefixes another cannot steal its
-  // masters.
-  for (const std::string& name : ordered) {
-    const Bus* best = nullptr;
-    uint32_t best_idx = 0;
-    for (uint32_t i = 0; i < buses_.size(); ++i) {
-      const std::string prefix = buses_[i].name + bus_naming::kReq;
-      if (name.compare(0, prefix.size(), prefix) == 0 &&
-          name.size() > prefix.size() &&
-          (best == nullptr || buses_[i].name.size() > best->name.size())) {
-        best = &buses_[i];
-        best_idx = i;
-      }
+  for (const auto& [name, role] : topo.roles) {
+    switch (role.role) {
+      case BusSignalRole::Start:
+        name_roles_[name] = {Role::Start, role.bus, -1};
+        break;
+      case BusSignalRole::Done:
+        name_roles_[name] = {Role::Done, role.bus, -1};
+        break;
+      case BusSignalRole::Rd:
+        name_roles_[name] = {Role::Rd, role.bus, -1};
+        break;
+      case BusSignalRole::Addr:
+        name_roles_[name] = {Role::Addr, role.bus, -1};
+        break;
+      case BusSignalRole::Req:
+        name_roles_[name] = {Role::Req, role.bus, role.master};
+        break;
+      case BusSignalRole::Ack:
+        name_roles_[name] = {Role::Ack, role.bus, role.master};
+        break;
+      case BusSignalRole::None:
+      case BusSignalRole::Wr:
+      case BusSignalRole::Data:
+        break;
     }
-    if (best == nullptr) continue;
-    const std::string master =
-        name.substr(best->name.size() + std::string(bus_naming::kReq).size());
-    const std::string ack = ack_signal(best->name, master);
-    if (!names.count(ack)) continue;
-    const auto m = static_cast<int32_t>(buses_[best_idx].masters.size());
-    buses_[best_idx].masters.push_back({master, 0, 0, 0, 0});
-    name_roles_[name] = {Role::Req, best_idx, m};
-    name_roles_[ack] = {Role::Ack, best_idx, m};
   }
 
   rt_.resize(buses_.size());

@@ -1,5 +1,7 @@
 #include "refine/protocol.h"
 
+#include <set>
+
 #include "spec/builder.h"
 
 namespace specsyn {
@@ -18,6 +20,133 @@ std::string req_signal(const std::string& bus, const std::string& master) {
 
 std::string ack_signal(const std::string& bus, const std::string& master) {
   return bus + bus_naming::kAck + master;
+}
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Stem of `name` under `suffix`, or empty when it does not apply.
+std::string stem_under(const std::string& name, const char* suffix) {
+  if (!ends_with(name, suffix)) return {};
+  return name.substr(0, name.size() - std::char_traits<char>::length(suffix));
+}
+
+}  // namespace
+
+BusTopology BusTopology::discover(const Specification& spec) {
+  BusTopology topo;
+
+  std::set<std::string> names;
+  std::vector<std::string> ordered;  // declaration order
+  for (const SignalDecl* s : spec.all_signals()) {
+    if (names.insert(s->name).second) ordered.push_back(s->name);
+  }
+
+  // A bus is any stem with the complete six-signal bundle. Control pairs
+  // (B_start/B_done without rd/wr/addr/data) are thereby excluded.
+  for (const std::string& name : ordered) {
+    const std::string stem = stem_under(name, bus_naming::kStart);
+    if (stem.empty()) continue;
+    const BusSignals sig = BusSignals::of(stem);
+    if (!names.count(sig.done) || !names.count(sig.rd) ||
+        !names.count(sig.wr) || !names.count(sig.addr) ||
+        !names.count(sig.data)) {
+      continue;
+    }
+    const auto bus = static_cast<uint32_t>(topo.buses.size());
+    topo.buses.push_back({stem, {}});
+    topo.roles[sig.start] = {BusSignalRole::Start, bus, -1};
+    topo.roles[sig.done] = {BusSignalRole::Done, bus, -1};
+    topo.roles[sig.rd] = {BusSignalRole::Rd, bus, -1};
+    topo.roles[sig.wr] = {BusSignalRole::Wr, bus, -1};
+    topo.roles[sig.addr] = {BusSignalRole::Addr, bus, -1};
+    topo.roles[sig.data] = {BusSignalRole::Data, bus, -1};
+  }
+
+  // Arbitration lines: <bus>_req_<master> with a matching ack. Declaration
+  // order is the arbiter's priority order (refine/arbiter_gen.h). Longest
+  // matching stem wins so a bus name that prefixes another cannot steal its
+  // masters.
+  for (const std::string& name : ordered) {
+    const BusEntry* best = nullptr;
+    uint32_t best_idx = 0;
+    for (uint32_t i = 0; i < topo.buses.size(); ++i) {
+      const std::string prefix = topo.buses[i].name + bus_naming::kReq;
+      if (name.compare(0, prefix.size(), prefix) == 0 &&
+          name.size() > prefix.size() &&
+          (best == nullptr || topo.buses[i].name.size() > best->name.size())) {
+        best = &topo.buses[i];
+        best_idx = i;
+      }
+    }
+    if (best == nullptr) continue;
+    const std::string master =
+        name.substr(best->name.size() + std::string(bus_naming::kReq).size());
+    const std::string ack = ack_signal(best->name, master);
+    if (!names.count(ack)) continue;
+    const auto m = static_cast<int32_t>(topo.buses[best_idx].masters.size());
+    topo.buses[best_idx].masters.push_back(master);
+    topo.roles[name] = {BusSignalRole::Req, best_idx, m};
+    topo.roles[ack] = {BusSignalRole::Ack, best_idx, m};
+  }
+
+  // Control pairs and partial bundles, from whatever stems remain. Signals
+  // already classified as bundle members above are not re-counted, so a bus
+  // named "B" does not also appear as a partial stem.
+  struct SuffixBit {
+    const char* suffix;
+    unsigned bit;
+  };
+  const SuffixBit kMembers[] = {
+      {bus_naming::kStart, 1u << 0}, {bus_naming::kDone, 1u << 1},
+      {bus_naming::kRd, 1u << 2},    {bus_naming::kWr, 1u << 3},
+      {bus_naming::kAddr, 1u << 4},  {bus_naming::kData, 1u << 5},
+  };
+  std::map<std::string, unsigned> members;
+  std::vector<std::string> stem_order;
+  for (const std::string& name : ordered) {
+    if (topo.roles.count(name) != 0) continue;
+    for (const SuffixBit& m : kMembers) {
+      const std::string stem = stem_under(name, m.suffix);
+      if (stem.empty()) continue;
+      if (members.emplace(stem, 0u).second) stem_order.push_back(stem);
+      members[stem] |= m.bit;
+    }
+  }
+  for (const std::string& stem : stem_order) {
+    const unsigned have = members[stem];
+    if (have == ((1u << 0) | (1u << 1))) {
+      topo.control_pairs.push_back(stem);
+      continue;
+    }
+    // A lone suffixed signal is just a name; two or more bundle members
+    // without the full set look like a damaged bus.
+    int count = 0;
+    for (const SuffixBit& m : kMembers) count += (have & m.bit) ? 1 : 0;
+    if (count < 2) continue;
+    std::vector<std::string> missing;
+    for (const SuffixBit& m : kMembers) {
+      if ((have & m.bit) == 0) missing.push_back(stem + m.suffix);
+    }
+    topo.partial_stems.emplace(stem, std::move(missing));
+  }
+  return topo;
+}
+
+BusTopology::SignalRole BusTopology::role_of(const std::string& signal) const {
+  const auto it = roles.find(signal);
+  return it == roles.end() ? SignalRole{} : it->second;
+}
+
+size_t BusTopology::find_bus(const std::string& name) const {
+  for (size_t i = 0; i < buses.size(); ++i) {
+    if (buses[i].name == name) return i;
+  }
+  return SIZE_MAX;
 }
 
 ProtocolGen::ProtocolGen(ProtocolStyle style, Type addr_t, Type data_t,

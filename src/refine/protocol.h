@@ -18,6 +18,8 @@
 //    proc <name>(a : addrT, beats : int8 [, v : wordT] [, out d : wordT])
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -50,6 +52,50 @@ struct BusSignals {
   std::string start, done, rd, wr, addr, data;
 
   [[nodiscard]] static BusSignals of(const std::string& bus);
+};
+
+/// What one declared signal means under the bus_naming contract.
+enum class BusSignalRole : uint8_t {
+  None, Start, Done, Rd, Wr, Addr, Data, Req, Ack
+};
+
+/// The bus structure recoverable from a specification's signal declarations
+/// alone: any stem with the complete six-signal bundle is a bus, and its
+/// `<bus>_req_<master>`/`<bus>_ack_<master>` pairs name the masters in
+/// arbiter priority order (declaration order). Shared by the observability
+/// layer (obs/bus_trace) and the static verifier (src/analysis) so the two
+/// can never disagree about what the refiner's names mean.
+struct BusTopology {
+  struct SignalRole {
+    BusSignalRole role = BusSignalRole::None;
+    uint32_t bus = 0;     ///< index into `buses`
+    int32_t master = -1;  ///< Req/Ack: index into the bus's `masters`
+  };
+  struct BusEntry {
+    std::string name;
+    std::vector<std::string> masters;  ///< empty on unarbitrated buses
+  };
+
+  std::vector<BusEntry> buses;
+  /// signal name -> role, for every signal that is part of some bundle.
+  std::map<std::string, SignalRole> roles;
+  /// Stems declaring exactly `<stem>_start` + `<stem>_done` and no other
+  /// bundle member: the control handshake pairs of moved behaviors
+  /// (control_refine's `<B>_start`/`<B>_done`).
+  std::vector<std::string> control_pairs;
+  /// Stems declaring some but not all of the six bundle suffixes (and that
+  /// are not plain start/done control pairs): likely renamed or half-deleted
+  /// buses. stem -> names of the missing members.
+  std::map<std::string, std::vector<std::string>> partial_stems;
+
+  /// Scans the declared signals of `spec` (specification level and every
+  /// behavior).
+  [[nodiscard]] static BusTopology discover(const Specification& spec);
+
+  /// Role of `signal`, or a None entry.
+  [[nodiscard]] SignalRole role_of(const std::string& signal) const;
+  /// Bus index by name, or SIZE_MAX.
+  [[nodiscard]] size_t find_bus(const std::string& name) const;
 };
 
 /// Per-master arbitration line names on an arbitrated bus.

@@ -7,6 +7,23 @@ benchmark present in both files got slower by more than the threshold.
 
     check_bench_regress.py BASELINE.json CURRENT.json [--threshold 0.10]
 
+Runs made with --benchmark_repetitions emit one entry per repetition; the
+gate aggregates all repetitions of a name and compares MEDIANS, with two
+noise guards so an unmodified tree passes on a loaded machine:
+
+  * run-level drift normalization: if the whole current run is uniformly
+    slower (another tenant on the machine, a different CPU governor), every
+    per-benchmark ratio shifts together; the gate divides each ratio by the
+    median ratio across all common benchmarks (clamped to >= 1 so a globally
+    faster run never penalizes anyone), and a real regression is whatever
+    still sticks out against its peers,
+  * the allowed slowdown widens by the measured relative spread
+    ((max - min) / median) of both sample sets — a benchmark that jitters
+    30% between its own repetitions cannot be gated at 10%, and
+  * a regression is only declared when the sample ranges are disjoint
+    (min(current) > max(baseline)); overlapping ranges are one noisy
+    population, not a slowdown.
+
 Benchmarks only present on one side are reported but never fail the gate
 (benches come and go; the gate is about regressions, not coverage). Exit
 status: 0 = no regression, 1 = regression found, 2 = bad input.
@@ -14,10 +31,12 @@ status: 0 = no regression, 1 = regression found, 2 = bad input.
 
 import argparse
 import json
+import statistics
 import sys
 
 
 def load(path):
+    """Returns {benchmark name: [ns_per_op, ...]} with one entry per repetition."""
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -33,11 +52,15 @@ def load(path):
         name = b.get("name")
         ns = b.get("ns_per_op")
         if isinstance(name, str) and isinstance(ns, (int, float)) and ns > 0:
-            # Runs made with --benchmark_repetitions emit one entry per
-            # repetition; keep the fastest. Transient machine load only ever
-            # slows a run down, so min-of-N is the noise-robust estimate.
-            out[name] = min(out.get(name, float("inf")), float(ns))
+            out.setdefault(name, []).append(float(ns))
     return out
+
+
+def spread(samples, median):
+    """Relative peak-to-peak spread of one benchmark's repetitions."""
+    if median <= 0:
+        return 0.0
+    return (max(samples) - min(samples)) / median
 
 
 def main():
@@ -48,34 +71,56 @@ def main():
         "--threshold",
         type=float,
         default=0.10,
-        help="allowed slowdown fraction (default 0.10 = 10%%)",
+        help="base allowed slowdown fraction (default 0.10 = 10%%); widened "
+        "per-benchmark by the measured repetition spread",
     )
     args = ap.parse_args()
 
     base = load(args.baseline)
     cur = load(args.current)
 
+    common = [n for n in base if n in cur]
+    drift = 1.0
+    if common:
+        ratios = [
+            statistics.median(cur[n]) / statistics.median(base[n])
+            for n in common
+        ]
+        drift = max(1.0, statistics.median(ratios))
+    if drift > 1.0:
+        print(f"note: run-level drift x{drift:.2f} (median ratio), normalizing")
+
     regressions = []
     for name in sorted(base):
         if name not in cur:
             print(f"note: '{name}' only in baseline (skipped)")
             continue
-        ratio = cur[name] / base[name]
-        marker = "REGRESSED" if ratio > 1.0 + args.threshold else "ok"
-        print(
-            f"{marker:>9}  {name}: {base[name]:.0f} -> {cur[name]:.0f} ns/op "
-            f"({(ratio - 1.0) * 100.0:+.1f}%)"
-        )
-        if marker == "REGRESSED":
+        b, c = base[name], cur[name]
+        med_b = statistics.median(b)
+        med_c = statistics.median(c)
+        ratio = med_c / med_b / drift
+        allowed = args.threshold + spread(b, med_b) + spread(c, med_c)
+        slower = ratio > 1.0 + allowed
+        disjoint = min(c) > max(b)
+        if slower and disjoint:
+            marker = "REGRESSED"
             regressions.append(name)
+        elif slower:
+            marker = "noisy"  # medians apart but sample ranges overlap
+        else:
+            marker = "ok"
+        print(
+            f"{marker:>9}  {name}: {med_b:.0f} -> {med_c:.0f} ns/op "
+            f"({(ratio - 1.0) * 100.0:+.1f}%, allowed {allowed * 100.0:.0f}%, "
+            f"n={len(b)}/{len(c)})"
+        )
     for name in sorted(set(cur) - set(base)):
         print(f"note: '{name}' only in current (skipped)")
 
     if regressions:
         print(
             f"FAIL: {len(regressions)} benchmark(s) slower than baseline "
-            f"by more than {args.threshold * 100:.0f}%: "
-            + ", ".join(regressions),
+            "beyond threshold + noise margin: " + ", ".join(regressions),
             file=sys.stderr,
         )
         return 1

@@ -1,6 +1,7 @@
 // specsyn — command-line front end to the model-refinement library.
 //
-//   specsyn check    <file.spec>                     parse + validate + stats
+//   specsyn check    <file.spec> [--json]            parse + validate + stats
+//                                                    + static verifier (SA0xx)
 //   specsyn print    <file.spec>                     canonical pretty-print
 //   specsyn simulate <file.spec> [options]           run and report results
 //   specsyn graph    <file.spec> [partition opts]    Graphviz DOT export
@@ -40,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/verifier.h"
 #include "estimate/profile.h"
 #include "estimate/rates.h"
 #include "graph/access_graph.h"
@@ -72,7 +74,11 @@ int help() {
   std::printf(R"(specsyn — model refinement for hardware-software codesign
 
 commands:
-  check    <file.spec>   parse, validate, print summary statistics
+  check    <file.spec>   parse, validate, print summary statistics, then run
+                         the static refinement verifier (protocol, deadlock,
+                         race, address-map, arbiter and control-order checks;
+                         exit 1 on any SA0xx error)
+                         --json    emit the verifier report as JSON instead
   print    <file.spec>   canonical pretty-print
   simulate <file.spec>   run the discrete-event simulator, report results
   graph    <file.spec>   Graphviz DOT of the access graph
@@ -118,6 +124,7 @@ struct Args {
   bool report = false;
   bool rates = false;
   bool verify = false;
+  bool json = false;
   bool use_lowering = true;
   bool metrics = false;
   uint64_t max_cycles = 0;  // 0 => SimConfig default
@@ -188,6 +195,8 @@ int parse_args(int argc, char** argv, Args& a) {
       a.rates = true;
     } else if (f == "--verify") {
       a.verify = true;
+    } else if (f == "--json") {
+      a.json = true;
     } else if (f == "--no-lowering") {
       a.use_lowering = false;
     } else if (f == "--vcd") {
@@ -297,6 +306,11 @@ Partition build_partition(const Args& a, const Specification& spec,
 }
 
 int cmd_check(const Args& a, const Specification& spec) {
+  const analysis::Report rep = analysis::analyze(spec);
+  if (a.json) {
+    const int rc = write_output(a, rep.json(spec.name));
+    return rc != 0 ? rc : (rep.has_errors() ? 1 : 0);
+  }
   AccessGraph graph = build_access_graph(spec);
   std::printf("spec %s: OK\n", spec.name.c_str());
   std::printf("  behaviors:     %zu\n", spec.all_behaviors().size());
@@ -309,8 +323,12 @@ int cmd_check(const Args& a, const Specification& spec) {
   std::printf("  control arcs:  %zu\n", graph.control_channels().size());
   std::printf("  sequential:    %s\n",
               spec.is_fully_sequential() ? "yes" : "no");
-  (void)a;
-  return 0;
+  for (const analysis::Finding& f : rep.findings) {
+    std::printf("%s\n", f.str().c_str());
+  }
+  std::printf("static verifier: %zu error(s), %zu warning(s)\n",
+              rep.count(Severity::Error), rep.count(Severity::Warning));
+  return rep.has_errors() ? 1 : 0;
 }
 
 int cmd_simulate(const Args& a, const Specification& spec) {
