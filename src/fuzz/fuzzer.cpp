@@ -1,0 +1,117 @@
+#include "fuzz/fuzzer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "fuzz/generator.h"
+#include "fuzz/reducer.h"
+#include "printer/printer.h"
+
+namespace specsyn::fuzz {
+
+namespace {
+
+std::string reproducer_text(const Specification& spec, uint64_t seed,
+                            const OracleConfig& cfg,
+                            const std::vector<FuzzIssue>& issues,
+                            InjectedBug inject) {
+  std::ostringstream os;
+  os << "// specsyn fuzz reproducer\n";
+  os << "// seed " << seed << "\n";
+  os << "// config " << cfg.str() << "\n";
+  if (inject != InjectedBug::None) {
+    os << "// injected-bug " << to_string(inject) << "\n";
+  }
+  for (const FuzzIssue& i : issues) {
+    os << "// oracle " << i.oracle << ": " << i.detail << "\n";
+  }
+  os << "\n" << print(spec);
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(const FuzzOptions& opts, std::ostream& log) {
+  FuzzReport report;
+
+  if (!opts.dump_dir.empty()) {
+    std::filesystem::create_directories(opts.dump_dir);
+  }
+
+  OracleOptions oopts;
+  oopts.max_cycles = opts.max_cycles;
+  oopts.inject = opts.inject;
+
+  for (size_t i = 0; i < opts.seeds; ++i) {
+    const uint64_t seed = opts.start_seed + i;
+    GenOptions gen;
+    gen.seed = seed;
+    gen.stmt_budget = opts.stmt_budget;
+    const Specification spec = generate_spec(gen);
+    const OracleConfig cfg = sample_config(seed);
+
+    if (!opts.dump_dir.empty()) {
+      write_file(opts.dump_dir + "/spec_" + std::to_string(seed) + ".spec",
+                 "// seed " + std::to_string(seed) + "\n// config " +
+                     cfg.str() + "\n\n" + print(spec));
+    }
+
+    const OracleOutcome outcome = run_oracles(spec, cfg, oopts);
+    ++report.seeds_run;
+    if (outcome.injection_applied && opts.inject != InjectedBug::None) {
+      ++report.injections_applied;
+    }
+    if (outcome.ok()) continue;
+
+    FuzzFailure fail;
+    fail.seed = seed;
+    fail.config = cfg;
+    fail.issues = outcome.issues;
+
+    Specification repro = spec.clone();
+    if (opts.reduce) {
+      fail.reduced_from = count_lines(print(spec));
+      const FailPredicate still_fails = [&](const Specification& cand) {
+        return !run_oracles(cand, cfg, oopts).ok();
+      };
+      ReduceStats stats;
+      repro = reduce_spec(spec, still_fails, &stats);
+      fail.issues = run_oracles(repro, cfg, oopts).issues;
+    }
+    fail.spec_lines = count_lines(print(repro));
+
+    std::filesystem::create_directories(opts.out_dir);
+    fail.reproducer_path =
+        opts.out_dir + "/repro_seed" + std::to_string(seed) + ".spec";
+    write_file(fail.reproducer_path,
+               reproducer_text(repro, seed, cfg, fail.issues, opts.inject));
+
+    log << "FAIL seed " << seed << " [" << cfg.str() << "]";
+    if (opts.reduce) {
+      log << " reduced " << fail.reduced_from << " -> " << fail.spec_lines
+          << " lines";
+    }
+    log << " -> " << fail.reproducer_path << "\n";
+    for (const FuzzIssue& issue : fail.issues) {
+      log << "  " << issue.oracle << ": " << issue.detail << "\n";
+    }
+    report.failures.push_back(std::move(fail));
+  }
+
+  log << "fuzz: " << report.seeds_run << " seeds, " << report.failures.size()
+      << " failing";
+  if (opts.inject != InjectedBug::None) {
+    log << ", injection applied on " << report.injections_applied << " seeds";
+  }
+  log << "\n";
+  return report;
+}
+
+}  // namespace specsyn::fuzz

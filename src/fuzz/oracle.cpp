@@ -1,0 +1,250 @@
+#include "fuzz/oracle.h"
+
+#include <sstream>
+
+#include "analysis/verifier.h"
+#include "fuzz/rng.h"
+#include "graph/access_graph.h"
+#include "parser/parser.h"
+#include "partition/partition.h"
+#include "printer/printer.h"
+#include "refine/refiner.h"
+#include "sim/equivalence.h"
+#include "spec/builder.h"
+#include "spec/mutate.h"
+
+namespace specsyn::fuzz {
+
+std::string OracleConfig::str() const {
+  std::ostringstream os;
+  os << to_string(model) << ' '
+     << (protocol == ProtocolStyle::FullHandshake ? "hs" : "bs") << ' '
+     << (scheme == LeafScheme::LoopLeaf ? "loop" : "wrapper") << ' '
+     << (inline_protocols ? "inline" : "shared") << " p" << components
+     << " salt" << partition_salt;
+  return os.str();
+}
+
+OracleConfig sample_config(uint64_t seed) {
+  OracleConfig cfg;
+  // Low bits sweep the discrete axes exhaustively as `seed` walks an
+  // interval; the salt reshuffles the partition independently.
+  cfg.model = static_cast<ImplModel>(seed % 4);
+  cfg.protocol =
+      (seed / 4) % 2 == 0 ? ProtocolStyle::FullHandshake : ProtocolStyle::ByteSerial;
+  cfg.scheme = (seed / 8) % 2 == 0 ? LeafScheme::LoopLeaf : LeafScheme::WrapperSeq;
+  cfg.inline_protocols = (seed / 16) % 2 == 0;
+  cfg.components = (seed / 32) % 2 == 0 ? 2 : 3;
+  cfg.partition_salt = seed * 0x9e3779b97f4a7c15ULL;
+  return cfg;
+}
+
+const char* to_string(InjectedBug b) {
+  switch (b) {
+    case InjectedBug::None: return "none";
+    case InjectedBug::DropDoneUpdate: return "done";
+    case InjectedBug::CorruptDataUpdate: return "data";
+  }
+  return "?";
+}
+
+bool parse_injected_bug(const std::string& name, InjectedBug& out) {
+  if (name == "none") { out = InjectedBug::None; return true; }
+  if (name == "done") { out = InjectedBug::DropDoneUpdate; return true; }
+  if (name == "data") { out = InjectedBug::CorruptDataUpdate; return true; }
+  return false;
+}
+
+std::string OracleOutcome::summary() const {
+  if (issues.empty()) return "ok";
+  std::ostringstream os;
+  for (const FuzzIssue& i : issues) {
+    os << "[" << i.oracle << "] " << i.detail << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void add_issue(OracleOutcome& out, std::string oracle, std::string detail) {
+  out.issues.push_back({std::move(oracle), std::move(detail)});
+}
+
+// -- oracle 1: canonical-printer round trip ----------------------------------
+void check_roundtrip(const Specification& spec, const std::string& oracle,
+                     OracleOutcome& out) {
+  const std::string text = print(spec);
+  DiagnosticSink diags;
+  auto reparsed = parse_spec(text, diags);
+  if (!reparsed) {
+    add_issue(out, oracle, "printed spec does not reparse: " + diags.str());
+    return;
+  }
+  DiagnosticSink vd;
+  if (!validate(*reparsed, vd)) {
+    add_issue(out, oracle, "reparsed spec does not validate: " + vd.str());
+    return;
+  }
+  const std::string again = print(*reparsed);
+  if (again != text) {
+    add_issue(out, oracle, "print(parse(print(s))) != print(s)");
+  }
+}
+
+// -- oracle 2: lowered vs legacy interpreter ---------------------------------
+std::string diff_sim_results(const SimResult& a, const SimResult& b) {
+  std::ostringstream os;
+  if (a.status != b.status) os << "status differs; ";
+  if (a.end_time != b.end_time) {
+    os << "end_time " << a.end_time << " vs " << b.end_time << "; ";
+  }
+  if (a.steps != b.steps) os << "steps " << a.steps << " vs " << b.steps << "; ";
+  if (a.root_completed != b.root_completed) os << "root_completed differs; ";
+  if (a.final_vars != b.final_vars) os << "final variable values differ; ";
+  if (a.observable_writes != b.observable_writes) {
+    os << "observable write traces differ; ";
+  }
+  if (a.behavior_completions != b.behavior_completions) {
+    os << "behavior completion counts differ; ";
+  }
+  return os.str();
+}
+
+void check_interp_diff(const Specification& spec, const std::string& oracle,
+                       OracleOutcome& out, uint64_t max_cycles) {
+  SimConfig lowered;
+  lowered.use_lowering = true;
+  lowered.max_cycles = max_cycles;
+  SimConfig legacy = lowered;
+  legacy.use_lowering = false;
+  const SimResult a = Simulator(spec, lowered).run();
+  const SimResult b = Simulator(spec, legacy).run();
+  const std::string diff = diff_sim_results(a, b);
+  if (!diff.empty()) add_issue(out, oracle, diff);
+}
+
+// -- oracle 3/8: static verifier silence -------------------------------------
+void check_analysis(const Specification& spec, const std::string& oracle,
+                    OracleOutcome& out) {
+  const analysis::Report rep = analysis::analyze(spec);
+  if (rep.clean()) return;
+  std::ostringstream os;
+  for (const analysis::Finding& f : rep.findings) os << f.str() << "; ";
+  add_issue(out, oracle, os.str());
+}
+
+// -- refinement under the sampled config -------------------------------------
+Partition build_partition(const Specification& spec, const AccessGraph& graph,
+                          const OracleConfig& cfg) {
+  Partition part(spec, cfg.components == 2 ? Allocation::proc_plus_asic()
+                                           : Allocation::asics(cfg.components));
+  std::vector<std::string> leaves;
+  spec.top->for_each([&](const Behavior& b) {
+    if (b.is_leaf()) leaves.push_back(b.name);
+  });
+  Rng rng(cfg.partition_salt);
+  std::vector<size_t> comp_of(leaves.size());
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    comp_of[i] = rng.below(cfg.components);
+  }
+  // Guarantee cross-component structure: at least components 0 and 1 hold a
+  // leaf each (otherwise refinement degenerates to a copy with no buses).
+  if (leaves.size() >= 2) {
+    bool has0 = false, has1 = false;
+    for (size_t c : comp_of) {
+      has0 |= c == 0;
+      has1 |= c == 1;
+    }
+    if (!has0) comp_of[0] = 0;
+    if (!has1) comp_of[comp_of[0] == 0 && leaves.size() > 1 ? 1 : 0] = 1;
+  }
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    part.assign_behavior(leaves[i], comp_of[i]);
+  }
+  part.auto_assign_vars(graph);
+  return part;
+}
+
+// -- planted refiner bugs -----------------------------------------------------
+bool inject_bug(Specification& refined, InjectedBug bug) {
+  switch (bug) {
+    case InjectedBug::None:
+      return true;
+    case InjectedBug::DropDoneUpdate:
+      return remove_first_matching_stmt(refined, [](const Stmt& s) {
+        return s.kind == Stmt::Kind::SignalAssign &&
+               s.target.ends_with("_done") &&
+               s.expr->kind == Expr::Kind::IntLit && s.expr->int_value == 1;
+      });
+    case InjectedBug::CorruptDataUpdate: {
+      bool done = false;
+      for_each_stmt(refined, [&](Stmt& s) {
+        if (done || s.kind != Stmt::Kind::SignalAssign ||
+            s.target.find("_data") == std::string::npos) {
+          return;
+        }
+        s.expr = build::add(std::move(s.expr), Expr::lit(1));
+        done = true;
+      });
+      return done;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+OracleOutcome run_oracles(const Specification& spec, const OracleConfig& cfg,
+                          const OracleOptions& opts) {
+  OracleOutcome out;
+
+  DiagnosticSink diags;
+  if (!validate(spec, diags)) {
+    add_issue(out, "generator", "spec does not validate: " + diags.str());
+    return out;
+  }
+
+  check_roundtrip(spec, "roundtrip", out);
+  check_interp_diff(spec, "interp-diff", out, opts.max_cycles);
+  check_analysis(spec, "analysis-original", out);
+
+  Specification refined;
+  try {
+    AccessGraph graph = build_access_graph(spec);
+    Partition part = build_partition(spec, graph, cfg);
+    RefineConfig rc;
+    rc.model = cfg.model;
+    rc.protocol = cfg.protocol;
+    rc.leaf_scheme = cfg.scheme;
+    rc.inline_protocols = cfg.inline_protocols;
+    refined = std::move(refine(part, graph, rc).refined);
+  } catch (const SpecError& e) {
+    add_issue(out, "refiner", std::string("refine threw: ") + e.what());
+    return out;
+  }
+
+  if (opts.inject != InjectedBug::None && !inject_bug(refined, opts.inject)) {
+    out.injection_applied = false;
+    return out;
+  }
+
+  DiagnosticSink rd;
+  if (!validate(refined, rd)) {
+    add_issue(out, "refiner", "refined spec does not validate: " + rd.str());
+    return out;
+  }
+
+  check_roundtrip(refined, "roundtrip-refined", out);
+  check_interp_diff(refined, "interp-diff-refined", out, opts.max_cycles);
+
+  EquivalenceOptions eo;
+  eo.config.max_cycles = opts.max_cycles;
+  eo.compare_write_traces = cfg.protocol == ProtocolStyle::FullHandshake;
+  const EquivalenceReport rep = check_equivalence(spec, refined, eo);
+  if (!rep.equivalent) add_issue(out, "equivalence", rep.summary());
+
+  check_analysis(refined, "analysis-refined", out);
+  return out;
+}
+
+}  // namespace specsyn::fuzz

@@ -124,7 +124,9 @@ class Parser {
       auto [p, ec] = std::from_chars(b, e, w);
       if (ec == std::errc() && p == e && Type{w}.valid()) return Type{w};
     }
-    diags_.error("unknown type '" + t + "'", loc);
+    // Covers zero and out-of-range widths too (int0, int65): Type::valid()
+    // rejects them above, so they fail here with a coded diagnostic.
+    diags_.error("[SP001] unknown type '" + t + "'", loc);
     failed_ = true;
     return Type::u32();
   }

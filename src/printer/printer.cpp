@@ -180,14 +180,17 @@ class Printer {
     indent();
     if (v.is_observable) os_ << "observable ";
     os_ << "var " << v.name << " : " << v.type.str();
-    if (v.init != 0) os_ << " := " << v.init;
+    // Print the value the simulator actually starts from: an unwrapped init
+    // (possible when the decl was built programmatically) would reparse as a
+    // different constant and break the print->parse->print fixpoint.
+    if (v.type.wrap(v.init) != 0) os_ << " := " << v.type.wrap(v.init);
     os_ << ";\n";
   }
 
   void print_signal(const SignalDecl& s) {
     indent();
     os_ << "signal " << s.name << " : " << s.type.str();
-    if (s.init != 0) os_ << " := " << s.init;
+    if (s.type.wrap(s.init) != 0) os_ << " := " << s.type.wrap(s.init);
     os_ << ";\n";
   }
 

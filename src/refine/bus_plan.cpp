@@ -1,5 +1,6 @@
 #include "refine/bus_plan.h"
 
+#include <algorithm>
 #include <set>
 
 namespace specsyn {
@@ -161,6 +162,21 @@ BusPlan BusPlan::build(const Partition& part, const AccessGraph& graph,
         for (size_t i = 0; i < accessors.size(); ++i) {
           plan.dedicated_bus_of_[{accessors[i], q}] =
               m.port_buses[i % ports].first;
+        }
+        // Each port decodes only the addresses its masters actually drive.
+        m.port_vars.assign(m.port_buses.size(), {});
+        for (const VarPlacement& vp : placements) {
+          if (vp.component != q || !vp.is_global) continue;
+          for (size_t c : vp.accessor_components) {
+            for (size_t i = 0; i < accessors.size(); ++i) {
+              if (accessors[i] != c) continue;
+              auto& pv = m.port_vars[i % ports];
+              if (std::find(pv.begin(), pv.end(), vp.var) == pv.end()) {
+                pv.push_back(vp.var);
+              }
+              break;
+            }
+          }
         }
         add_module(std::move(m));
       }

@@ -46,6 +46,11 @@ struct MemoryModule {
   /// Buses serving this module; one entry per port: (bus, accessor component).
   /// Single-port modules have exactly one entry.
   std::vector<std::pair<std::string, size_t>> port_buses;
+  /// Per-port decode sets, parallel to port_buses: the subset of `vars` the
+  /// port's master components actually access. An empty entry (or an empty
+  /// vector) means the port decodes every stored variable — dead decode
+  /// ranges are wasted slave logic, so multi-port plans narrow this.
+  std::vector<std::vector<std::string>> port_vars;
 };
 
 /// Model4 bus-interface pair of one component.

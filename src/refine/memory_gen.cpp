@@ -1,5 +1,7 @@
 #include "refine/memory_gen.h"
 
+#include <algorithm>
+
 namespace specsyn {
 
 BehaviorPtr generate_memory(const MemoryModule& m, const ProtocolGen& proto,
@@ -28,11 +30,21 @@ BehaviorPtr generate_memory(const MemoryModule& m, const ProtocolGen& proto,
   }
 
   // Multi-port: concurrent port servers over shared variable declarations.
+  // A port only decodes the addresses its master components drive (the
+  // plan's port_vars); ports with no narrowing serve the full address range.
   std::vector<BehaviorPtr> ports;
-  for (const auto& [bus, accessor] : m.port_buses) {
-    (void)accessor;
-    ports.push_back(Behavior::make_leaf(
-        m.name + "_port_" + bus, proto.slave_server_loop(bus, slave_vars)));
+  for (size_t i = 0; i < m.port_buses.size(); ++i) {
+    const std::string& bus = m.port_buses[i].first;
+    std::vector<SlaveVar> port_vars = slave_vars;
+    if (i < m.port_vars.size() && !m.port_vars[i].empty()) {
+      const auto& allowed = m.port_vars[i];
+      std::erase_if(port_vars, [&](const SlaveVar& sv) {
+        return std::find(allowed.begin(), allowed.end(), sv.name) ==
+               allowed.end();
+      });
+    }
+    ports.push_back(Behavior::make_leaf(m.name + "_port_" + bus,
+                                        proto.slave_server_loop(bus, port_vars)));
   }
   auto b = Behavior::make_conc(m.name, std::move(ports));
   b->vars = std::move(decls);

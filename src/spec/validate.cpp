@@ -1,6 +1,13 @@
 // Structural validation of a Specification. Every pass in the library
 // documents "valid specification" as its precondition; this is the single
 // definition of validity.
+//
+// Every diagnostic carries a stable [SV0xx] code so tools (and the fuzz
+// harness) can match on the failure class instead of the message text:
+//   SV001-SV008  specification structure, names, widths
+//   SV010-SV011  procedure declarations
+//   SV020-SV027  behavior hierarchy and transition arcs
+//   SV030-SV041  statements and expressions
 #include <set>
 #include <sstream>
 #include <string>
@@ -61,6 +68,18 @@ class ScopeFrame {
   size_t mark_;
 };
 
+// SpecLang keywords: declaring one as a behavior/variable/signal/procedure
+// name produces text the canonical printer cannot round-trip (the reparse
+// reads the name as a keyword), so validity rejects them up front.
+bool is_reserved(const std::string& n) {
+  static const std::set<std::string> kw = {
+      "behavior", "break", "call",  "complete",    "conc", "delay",
+      "else",     "if",    "in",    "leaf",        "loop", "nop",
+      "observable", "out", "proc",  "seq",         "signal", "spec",
+      "transitions", "var", "wait", "when",        "while"};
+  return kw.count(n) != 0;
+}
+
 class Validator {
  public:
   Validator(const Specification& spec, DiagnosticSink& diags)
@@ -68,7 +87,8 @@ class Validator {
 
   void run() {
     if (!spec_.top) {
-      diags_.error("specification '" + spec_.name + "' has no top behavior");
+      err("SV001",
+          "specification '" + spec_.name + "' has no top behavior");
       return;
     }
     check_unique_names();
@@ -86,9 +106,25 @@ class Validator {
   }
 
  private:
+  void err(const char* code, const std::string& msg, SourceLoc loc = {}) {
+    diags_.error(std::string("[") + code + "] " + msg, loc);
+  }
+
+  void warn(const char* code, const std::string& msg, SourceLoc loc = {}) {
+    diags_.warning(std::string("[") + code + "] " + msg, loc);
+  }
+
   void check_type(const Type& t, const std::string& what) {
     if (!t.valid()) {
-      diags_.error(what + " has invalid width " + std::to_string(t.width));
+      err("SV007",
+          what + " has invalid width " + std::to_string(t.width));
+    }
+  }
+
+  void check_reserved(const std::string& n, const std::string& what,
+                      const SourceLoc& loc) {
+    if (is_reserved(n)) {
+      err("SV008", what + " '" + n + "' is a reserved word", loc);
     }
   }
 
@@ -96,18 +132,20 @@ class Validator {
     std::set<std::string> behavior_names;
     spec_.top->for_each([&](const Behavior& b) {
       if (b.name.empty()) {
-        diags_.error("behavior with empty name", b.loc);
+        err("SV002", "behavior with empty name", b.loc);
       } else if (!behavior_names.insert(b.name).second) {
-        diags_.error("duplicate behavior name '" + b.name + "'", b.loc);
+        err("SV003", "duplicate behavior name '" + b.name + "'", b.loc);
       }
+      check_reserved(b.name, "behavior name", b.loc);
     });
     std::set<std::string> data_names;
     auto add = [&](const std::string& n, const SourceLoc& loc) {
       if (n.empty()) {
-        diags_.error("declaration with empty name", loc);
+        err("SV004", "declaration with empty name", loc);
       } else if (!data_names.insert(n).second) {
-        diags_.error("duplicate variable/signal name '" + n + "'", loc);
+        err("SV005", "duplicate variable/signal name '" + n + "'", loc);
       }
+      check_reserved(n, "declaration name", loc);
     };
     for (const auto& v : spec_.vars) add(v.name, {});
     for (const auto& s : spec_.signals) add(s.name, {});
@@ -118,8 +156,9 @@ class Validator {
     std::set<std::string> proc_names;
     for (const auto& p : spec_.procedures) {
       if (!proc_names.insert(p.name).second) {
-        diags_.error("duplicate procedure name '" + p.name + "'");
+        err("SV006", "duplicate procedure name '" + p.name + "'");
       }
+      check_reserved(p.name, "procedure name", {});
     }
   }
 
@@ -129,17 +168,19 @@ class Validator {
       std::set<std::string> local_names;
       for (const auto& prm : p.params) {
         check_type(prm.type, "parameter '" + prm.name + "' of '" + p.name + "'");
+        check_reserved(prm.name, "parameter name", {});
         if (!local_names.insert(prm.name).second) {
-          diags_.error("duplicate parameter '" + prm.name + "' in procedure '" +
-                       p.name + "'");
+          err("SV010", "duplicate parameter '" + prm.name +
+                           "' in procedure '" + p.name + "'");
         }
         outer.push(prm.name, SymKind::Var);
       }
       for (const auto& [name, type] : p.locals) {
         check_type(type, "local '" + name + "' of '" + p.name + "'");
+        check_reserved(name, "local name", {});
         if (!local_names.insert(name).second) {
-          diags_.error("duplicate local '" + name + "' in procedure '" + p.name +
-                       "'");
+          err("SV011", "duplicate local '" + name + "' in procedure '" +
+                           p.name + "'");
         }
         outer.push(name, SymKind::Var);
       }
@@ -163,33 +204,43 @@ class Validator {
     switch (b.kind) {
       case BehaviorKind::Leaf:
         if (!b.children.empty()) {
-          diags_.error(where + " is a leaf but has children", b.loc);
+          err("SV020", where + " is a leaf but has children", b.loc);
         }
         if (!b.transitions.empty()) {
-          diags_.error(where + " is a leaf but has transitions", b.loc);
+          err("SV021", where + " is a leaf but has transitions", b.loc);
         }
         check_block(b.body, scope, 0, where);
         break;
       case BehaviorKind::Sequential:
       case BehaviorKind::Concurrent:
         if (!b.body.empty()) {
-          diags_.error(where + " is composite but has a statement body", b.loc);
+          err("SV022", where + " is composite but has a statement body",
+              b.loc);
         }
         if (b.children.empty()) {
-          diags_.error(where + " is composite but has no children", b.loc);
+          err("SV023", where + " is composite but has no children", b.loc);
         }
         if (b.kind == BehaviorKind::Concurrent && !b.transitions.empty()) {
-          diags_.error(where + " is concurrent but has transitions", b.loc);
+          err("SV024", where + " is concurrent but has transitions", b.loc);
         }
         for (const auto& t : b.transitions) {
           if (!b.find_child(t.from)) {
-            diags_.error(where + " transition from unknown child '" + t.from +
-                             "'",
-                         b.loc);
+            err("SV025",
+                where + " transition from unknown child '" + t.from + "'",
+                b.loc);
           }
           if (!t.completes() && !b.find_child(t.to)) {
-            diags_.error(where + " transition to unknown child '" + t.to + "'",
-                         b.loc);
+            err("SV026",
+                where + " transition to unknown child '" + t.to + "'", b.loc);
+          }
+          // A guarded self-arc is the repeat-while idiom (falls through when
+          // the guard goes false); an unguarded one always retakes itself and
+          // the composite can never complete.
+          if (!t.completes() && t.from == t.to && !t.guard) {
+            err("SV027",
+                where + " unguarded transition from '" + t.from +
+                    "' to itself can never exit",
+                b.loc);
           }
           if (t.guard) check_expr(*t.guard, scope, where + " transition guard");
         }
@@ -209,13 +260,14 @@ class Validator {
       case Stmt::Kind::Assign: {
         const SymKind* k = scope.find(s.target);
         if (!k) {
-          diags_.error(where + ": assignment to undeclared name '" + s.target +
-                           "'",
-                       s.loc);
+          err("SV030",
+              where + ": assignment to undeclared name '" + s.target + "'",
+              s.loc);
         } else if (*k != SymKind::Var) {
-          diags_.error(where + ": ':=' target '" + s.target +
-                           "' is a signal (use '<=')",
-                       s.loc);
+          err("SV031",
+              where + ": ':=' target '" + s.target +
+                  "' is a signal (use '<=')",
+              s.loc);
         }
         check_expr(*s.expr, scope, where);
         break;
@@ -223,13 +275,15 @@ class Validator {
       case Stmt::Kind::SignalAssign: {
         const SymKind* k = scope.find(s.target);
         if (!k) {
-          diags_.error(where + ": signal assignment to undeclared name '" +
-                           s.target + "'",
-                       s.loc);
+          err("SV032",
+              where + ": signal assignment to undeclared name '" + s.target +
+                  "'",
+              s.loc);
         } else if (*k != SymKind::Signal) {
-          diags_.error(where + ": '<=' target '" + s.target +
-                           "' is a variable (use ':=')",
-                       s.loc);
+          err("SV033",
+              where + ": '<=' target '" + s.target +
+                  "' is a variable (use ':=')",
+              s.loc);
         }
         check_expr(*s.expr, scope, where);
         break;
@@ -260,9 +314,10 @@ class Validator {
           }
         }
         if (!touches_signal) {
-          diags_.warning(where + ": wait condition references no signal and "
-                                 "can only pass if initially true",
-                         s.loc);
+          warn("SV034",
+               where + ": wait condition references no signal and "
+                       "can only pass if initially true",
+               s.loc);
         }
         break;
       }
@@ -271,31 +326,33 @@ class Validator {
       case Stmt::Kind::Call: {
         const Procedure* p = spec_.find_procedure(s.callee);
         if (!p) {
-          diags_.error(where + ": call to unknown procedure '" + s.callee + "'",
-                       s.loc);
+          err("SV035",
+              where + ": call to unknown procedure '" + s.callee + "'", s.loc);
           break;
         }
         if (p->params.size() != s.args.size()) {
           std::ostringstream os;
           os << where << ": call to '" << s.callee << "' with "
              << s.args.size() << " args, expected " << p->params.size();
-          diags_.error(os.str(), s.loc);
+          err("SV036", os.str(), s.loc);
           break;
         }
         for (size_t i = 0; i < s.args.size(); ++i) {
           const Expr& a = *s.args[i];
           if (p->params[i].is_out) {
             if (a.kind != Expr::Kind::NameRef) {
-              diags_.error(where + ": out argument " + std::to_string(i) +
-                               " of '" + s.callee + "' must be a plain name",
-                           s.loc);
+              err("SV037",
+                  where + ": out argument " + std::to_string(i) + " of '" +
+                      s.callee + "' must be a plain name",
+                  s.loc);
               continue;
             }
             const SymKind* k = scope.find(a.name);
             if (!k || *k != SymKind::Var) {
-              diags_.error(where + ": out argument '" + a.name + "' of '" +
-                               s.callee + "' must name a variable in scope",
-                           s.loc);
+              err("SV038",
+                  where + ": out argument '" + a.name + "' of '" + s.callee +
+                      "' must name a variable in scope",
+                  s.loc);
             }
           } else {
             check_expr(a, scope, where);
@@ -305,7 +362,7 @@ class Validator {
       }
       case Stmt::Kind::Break:
         if (loop_depth == 0) {
-          diags_.error(where + ": break outside of loop", s.loc);
+          err("SV039", where + ": break outside of loop", s.loc);
         }
         break;
       case Stmt::Kind::Nop:
@@ -316,12 +373,12 @@ class Validator {
   void check_expr(const Expr& e, const Scope& scope, const std::string& where) {
     if (e.kind == Expr::Kind::NameRef) {
       if (!scope.find(e.name)) {
-        diags_.error(where + ": reference to undeclared name '" + e.name + "'",
-                     e.loc);
+        err("SV040",
+            where + ": reference to undeclared name '" + e.name + "'", e.loc);
       }
     }
     if (e.kind == Expr::Kind::IntLit && !e.type.valid()) {
-      diags_.error(where + ": literal with invalid type", e.loc);
+      err("SV041", where + ": literal with invalid type", e.loc);
     }
     for (const auto& a : e.args) check_expr(*a, scope, where);
   }

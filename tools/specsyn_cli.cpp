@@ -6,6 +6,7 @@
 //   specsyn simulate <file.spec> [options]           run and report results
 //   specsyn graph    <file.spec> [partition opts]    Graphviz DOT export
 //   specsyn refine   <file.spec> [options]           full model refinement
+//   specsyn fuzz     [options]                       differential fuzzing
 //
 // simulate options:
 //   --trace FILE           write a Perfetto-loadable Chrome trace-event JSON
@@ -32,6 +33,16 @@
 //   --rates                print the per-bus transfer-rate table
 //   --verify               check functional equivalence (exit 1 on mismatch)
 //   -o FILE                write primary output to FILE (default stdout)
+//
+// fuzz options:
+//   --seeds N              number of seeds to run (default 100)
+//   --seed S               first seed (default 1)
+//   --budget B             generator statement budget per spec (default 40)
+//   --reduce               shrink failing specs before writing reproducers
+//   --out DIR              reproducer directory (default fuzz-failures)
+//   --dump DIR             also dump every generated spec (corpus mining)
+//   --inject-bug done|data plant a known refiner bug (oracle self-test)
+//   --max-cycles N         per-simulation bound (default 5000000)
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -43,6 +54,7 @@
 
 #include "analysis/verifier.h"
 #include "estimate/profile.h"
+#include "fuzz/fuzzer.h"
 #include "estimate/rates.h"
 #include "graph/access_graph.h"
 #include "parser/parser.h"
@@ -66,6 +78,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: specsyn <check|print|simulate|graph|refine> "
                "<file.spec> [options]\n"
+               "       specsyn fuzz [options]\n"
                "run `specsyn help` for the full option list\n");
   return 2;
 }
@@ -83,6 +96,10 @@ commands:
   simulate <file.spec>   run the discrete-event simulator, report results
   graph    <file.spec>   Graphviz DOT of the access graph
   refine   <file.spec>   transform into an implementation model
+  fuzz                   generate random specs, refine each under a sampled
+                         config, and cross-check every pipeline layer
+                         (round-trip, interpreter diff, equivalence, static
+                         verifier); exit 1 if any seed fails
 
 simulate options:
   --trace FILE           Perfetto-loadable Chrome trace-event JSON: behavior
@@ -99,6 +116,16 @@ refine options:
   --model N ; --protocol hs|bs ; --scheme loop|wrapper ; --no-inline
   --assign B=C ; --pin-var V=C ; --ratio balanced|local|global ; --asics N
   --vhdl ; --report ; --rates ; --verify ; --no-lowering ; -o FILE
+
+fuzz options:
+  --seeds N              number of seeds to run (default 100)
+  --seed S               first seed (default 1)
+  --budget B             generator statement budget per spec (default 40)
+  --reduce               shrink failing specs before writing reproducers
+  --out DIR              reproducer directory (default fuzz-failures)
+  --dump DIR             also dump every generated spec (corpus mining)
+  --inject-bug done|data plant a known refiner bug (oracle self-test)
+  --max-cycles N         per-simulation bound (default 5000000)
 )");
   return 0;
 }
@@ -453,9 +480,86 @@ int cmd_refine(const Args& a, const Specification& spec) {
   return write_output(a, a.vhdl ? to_vhdl(r.refined) : print(r.refined));
 }
 
+// `fuzz` takes no input file, so it parses its own options.
+int cmd_fuzz(int argc, char** argv) {
+  fuzz::FuzzOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string f = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", f.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (f == "--seeds") {
+      const char* v = next();
+      if (!v) return 2;
+      opts.seeds = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (f == "--seed") {
+      const char* v = next();
+      if (!v) return 2;
+      opts.start_seed = std::strtoull(v, nullptr, 10);
+    } else if (f == "--budget") {
+      const char* v = next();
+      if (!v) return 2;
+      opts.stmt_budget = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (f == "--reduce") {
+      opts.reduce = true;
+    } else if (f == "--out") {
+      const char* v = next();
+      if (!v) return 2;
+      opts.out_dir = v;
+    } else if (f == "--dump") {
+      const char* v = next();
+      if (!v) return 2;
+      opts.dump_dir = v;
+    } else if (f == "--inject-bug") {
+      const char* v = next();
+      if (!v) return 2;
+      if (!fuzz::parse_injected_bug(v, opts.inject)) {
+        std::fprintf(stderr, "--inject-bug must be done, data or none\n");
+        return 2;
+      }
+    } else if (f == "--max-cycles") {
+      const char* v = next();
+      if (!v) return 2;
+      opts.max_cycles = std::strtoull(v, nullptr, 10);
+      if (opts.max_cycles == 0) {
+        std::fprintf(stderr, "--max-cycles expects a positive cycle count\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", f.c_str());
+      return 2;
+    }
+  }
+  if (opts.seeds == 0) {
+    std::fprintf(stderr, "--seeds expects a positive count\n");
+    return 2;
+  }
+  const fuzz::FuzzReport report = fuzz::run_fuzz(opts, std::cout);
+  if (opts.inject != fuzz::InjectedBug::None &&
+      report.injections_applied == 0) {
+    std::fprintf(stderr,
+                 "fuzz: --inject-bug %s never found an applicable site\n",
+                 fuzz::to_string(opts.inject));
+    return 1;
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "fuzz") {
+    try {
+      return cmd_fuzz(argc, argv);
+    } catch (const SpecError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
   Args a;
   const int rc = parse_args(argc, argv, a);
   if (rc == -1) return help();
