@@ -1,0 +1,147 @@
+// Batch-engine throughput: seeds/sec for the parallel fuzz sweep and
+// configs/sec for the design-space sweep at 1/2/4/8 workers, plus the two
+// read-side wins the engine is built on (program-cache reuse and the
+// overlapped equivalence check).
+//
+// On a multi-core machine the 8-worker rows should run >=3x the serial
+// throughput; on a single-core runner they degrade gracefully toward 1x
+// (scheduling overhead only). Correctness never rides on these numbers —
+// the determinism tests pin output equality across worker counts; this
+// harness pins the price.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "batch/sweep.h"
+#include "batch/thread_pool.h"
+#include "bench_json.h"
+#include "estimate/profile.h"
+#include "fuzz/fuzzer.h"
+#include "graph/access_graph.h"
+#include "refine/refiner.h"
+#include "sim/equivalence.h"
+#include "sim/program_cache.h"
+#include "workloads/medical.h"
+
+namespace specsyn {
+namespace {
+
+const Specification& medical() {
+  static const Specification spec = make_medical_system();
+  return spec;
+}
+
+struct MedicalDesign {
+  AccessGraph graph;
+  PartitionerResult design;
+  ProfileResult prof;
+};
+
+const MedicalDesign& design1() {
+  static const MedicalDesign d = [] {
+    AccessGraph graph = build_access_graph(medical());
+    PartitionerResult design = make_medical_design(medical(), graph, 1);
+    ProfileResult prof = profile_spec(medical());
+    return MedicalDesign{std::move(graph), std::move(design),
+                         std::move(prof)};
+  }();
+  return d;
+}
+
+// -- fuzz seed sweep ---------------------------------------------------------
+
+void BM_FuzzSeeds(benchmark::State& state) {
+  fuzz::FuzzOptions opts;
+  opts.seeds = 12;
+  opts.jobs = static_cast<size_t>(state.range(0));
+  double seeds = 0;
+  for (auto _ : state) {
+    std::ostringstream log;
+    const fuzz::FuzzReport report = fuzz::run_fuzz(opts, log);
+    benchmark::DoNotOptimize(report.seeds_run);
+    seeds += static_cast<double>(report.seeds_run);
+  }
+  state.counters["seeds_per_s"] =
+      benchmark::Counter(seeds, benchmark::Counter::kIsRate);
+  state.counters["jobs"] = static_cast<double>(state.range(0));
+}
+// UseRealTime: the work runs on pool threads, so main-thread CPU time (the
+// default clock) would overstate throughput; the honest rate is wall-clock.
+BENCHMARK(BM_FuzzSeeds)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// -- design-space sweep ------------------------------------------------------
+
+void BM_MedicalSweep(benchmark::State& state) {
+  const MedicalDesign& d = design1();
+  batch::SweepOptions opts;  // no --verify: pure refine/check/price/simulate
+  batch::ThreadPool pool(static_cast<size_t>(state.range(0)));
+  double configs = 0;
+  for (auto _ : state) {
+    const batch::SweepReport rep =
+        batch::run_sweep(medical(), d.design.partition, d.graph, d.prof,
+                         batch::full_matrix(), opts, pool);
+    benchmark::DoNotOptimize(rep.rows.front().cost);
+    configs += static_cast<double>(rep.rows.size());
+  }
+  state.counters["configs_per_s"] =
+      benchmark::Counter(configs, benchmark::Counter::kIsRate);
+  state.counters["jobs"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_MedicalSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// -- program cache -----------------------------------------------------------
+
+// Same refined spec simulated repeatedly: the cache turns every Simulator
+// construction after the first into an LRU lookup instead of a full lowering
+// compile — the win every oracle/sweep job sees on its worker's arena.
+void BM_SimulateRefined_NoCache(benchmark::State& state) {
+  const MedicalDesign& d = design1();
+  RefineConfig cfg;
+  const RefineResult r = refine(d.design.partition, d.graph, cfg);
+  for (auto _ : state) {
+    Simulator sim(r.refined, SimConfig{});
+    benchmark::DoNotOptimize(sim.run().end_time);
+  }
+}
+BENCHMARK(BM_SimulateRefined_NoCache)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateRefined_ProgramCache(benchmark::State& state) {
+  const MedicalDesign& d = design1();
+  RefineConfig cfg;
+  const RefineResult r = refine(d.design.partition, d.graph, cfg);
+  ProgramCache cache;
+  for (auto _ : state) {
+    Simulator sim(r.refined, SimConfig{}, &cache);
+    benchmark::DoNotOptimize(sim.run().end_time);
+  }
+  state.counters["hits"] = static_cast<double>(cache.stats().hits);
+}
+BENCHMARK(BM_SimulateRefined_ProgramCache)->Unit(benchmark::kMillisecond);
+
+// -- overlapped equivalence --------------------------------------------------
+
+void BM_Equivalence(benchmark::State& state) {
+  const MedicalDesign& d = design1();
+  RefineConfig cfg;
+  cfg.model = ImplModel::Model2;
+  const RefineResult r = refine(d.design.partition, d.graph, cfg);
+  ProgramCache cache;
+  EquivalenceOptions eo;
+  eo.parallel = state.range(0) != 0;
+  eo.programs = &cache;
+  for (auto _ : state) {
+    const EquivalenceReport rep = check_equivalence(medical(), r.refined, eo);
+    benchmark::DoNotOptimize(rep.equivalent);
+  }
+  state.SetLabel(eo.parallel ? "parallel" : "serial");
+}
+BENCHMARK(BM_Equivalence)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace specsyn
+
+int main(int argc, char** argv) {
+  return specsyn::run_with_json(argc, argv, "BENCH_batch.json");
+}

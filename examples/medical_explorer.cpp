@@ -4,84 +4,63 @@
 // the way a designer would use SpecSyn's refinement to compare communication
 // styles.
 //
+// The per-model refine/price/simulate loop is the batch sweep engine
+// (batch/sweep.h): each design fans its four models over a shared worker
+// pool, and the printed numbers are bit-identical to a serial run by the
+// engine's determinism contract.
+//
 // Usage: ./build/examples/medical_explorer [design]   (design in 1..3;
 //        default: all three)
 #include <cstdio>
 #include <cstdlib>
 
-#include "estimate/cost.h"
+#include "batch/sweep.h"
+#include "batch/thread_pool.h"
 #include "estimate/profile.h"
-#include "estimate/rates.h"
-#include "obs/bus_trace.h"
-#include "obs/metrics.h"
+#include "graph/access_graph.h"
 #include "printer/printer.h"
-#include "refine/refiner.h"
 #include "refine/selector.h"
-#include "sim/simulator.h"
 #include "workloads/medical.h"
 
 using namespace specsyn;
 
 namespace {
 
-struct ModelOutcome {
-  ImplModel model;
-  double peak_mbps;
-  double cost;
-  size_t lines;
-  size_t buses;
-};
-
-/// Simulates the refined model with a BusTracer attached and returns the
-/// measured bus metrics — the dynamic counterpart of the static rate
-/// estimates above (estimate/rates.h predicts, the tracer observes).
-MetricsReport measure(const Specification& refined) {
-  BusTracer tracer(refined);
-  Simulator sim(refined, SimConfig{});
-  sim.add_slot_observer(&tracer);
-  sim.run();
-  return MetricsReport::from(tracer);
-}
-
 void explore(const Specification& spec, const AccessGraph& graph,
-             const ProfileResult& prof, int design) {
+             const ProfileResult& prof, int design, batch::ThreadPool& pool) {
   auto d = make_medical_design(spec, graph, design);
   std::printf("\nDesign%d: %zu local / %zu global variables\n", design,
               d.local_vars, d.global_vars);
 
-  std::vector<ModelOutcome> outcomes;
-  for (ImplModel m : {ImplModel::Model1, ImplModel::Model2, ImplModel::Model3,
-                      ImplModel::Model4}) {
-    RefineConfig cfg;
-    cfg.model = m;
-    RefineResult r = refine(d.partition, graph, cfg);
-    BusRateReport rates = bus_rates(prof, d.partition, r.plan, 100e6);
-    CostReport cost = estimate_cost(r, rates);
-    outcomes.push_back({m, rates.max_rate(), cost.total,
-                        count_lines(print(r.refined)), r.stats.buses});
+  // Fan the four models over the pool: refine, static rates + cost, and a
+  // measured (BusTracer) simulation per model, all in one engine call.
+  batch::SweepOptions opts;  // defaults: 100 MHz clock, lowered interpreter
+  const batch::SweepReport swept = batch::run_sweep(
+      spec, d.partition, graph, prof, batch::model_axis(), opts, pool);
+
+  // Print in model order (rows come back ranked; matrix_index restores the
+  // Model1..Model4 axis).
+  std::vector<const batch::SweepRow*> by_model(swept.rows.size());
+  for (const batch::SweepRow& r : swept.rows) by_model[r.matrix_index] = &r;
+  for (const batch::SweepRow* r : by_model) {
+    if (!r->refine_ok) {
+      std::printf("  %s: FAILED: %s\n", to_string(r->point.config.model),
+                  r->error.c_str());
+      continue;
+    }
     std::printf("  %s: peak bus %7.0f Mbit/s, %zu buses, cost %7.1f, "
                 "%zu lines\n",
-                to_string(m), rates.max_rate(), r.stats.buses, cost.total,
-                outcomes.back().lines);
+                to_string(r->point.config.model), r->peak_mbps, r->buses,
+                r->cost, r->lines);
 
     // Measured (simulated) bus traffic alongside the static estimate: which
     // bus actually saturates, and how long masters fight the arbiter for it.
-    const MetricsReport measured = measure(r.refined);
-    double peak_util = 0.0;
-    uint64_t contention = 0;
-    const MetricsReport::BusRow* busiest = nullptr;
-    for (const MetricsReport::BusRow& b : measured.buses) {
-      contention += b.contention_cycles;
-      if (b.utilization_pct > peak_util) {
-        peak_util = b.utilization_pct;
-        busiest = &b;
-      }
-    }
     std::printf("      measured: %llu cycles, busiest bus %s at %.1f%% "
                 "util, contention %llu cycles\n",
-                static_cast<unsigned long long>(measured.end_time),
-                busiest != nullptr ? busiest->name.c_str() : "-", peak_util,
-                static_cast<unsigned long long>(contention));
+                static_cast<unsigned long long>(r->cycles),
+                r->busiest_bus.empty() ? "-" : r->busiest_bus.c_str(),
+                r->peak_util_pct,
+                static_cast<unsigned long long>(r->contention_cycles));
   }
 
   // Recommend via the automatic selector: feasible under a max bus-rate
@@ -114,11 +93,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(prof.sim.end_time),
               prof.channel_count());
 
+  batch::ThreadPool pool(batch::ThreadPool::default_workers());
   if (argc > 1) {
-    explore(spec, graph, prof, std::atoi(argv[1]));
+    explore(spec, graph, prof, std::atoi(argv[1]), pool);
   } else {
     for (int design = 1; design <= 3; ++design) {
-      explore(spec, graph, prof, design);
+      explore(spec, graph, prof, design, pool);
     }
   }
   std::printf(

@@ -1,0 +1,270 @@
+#include "batch/sweep.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <tuple>
+
+#include "analysis/verifier.h"
+#include "estimate/cost.h"
+#include "obs/bus_trace.h"
+#include "obs/metrics.h"
+#include "printer/printer.h"
+#include "refine/refiner.h"
+#include "sim/equivalence.h"
+#include "support/diagnostics.h"
+
+namespace specsyn::batch {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          appendf(out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Refine + verify + price + simulate one matrix point. Everything this
+/// reads is shared const; everything it writes lives in the returned row or
+/// in worker-owned state (ctx.programs) — the determinism contract of
+/// ThreadPool jobs.
+SweepRow eval_point(const Specification& spec, const Partition& part,
+                    const AccessGraph& graph, const ProfileResult& prof,
+                    const SweepOptions& opts, const SweepPoint& point,
+                    size_t index, WorkerContext& ctx) {
+  SweepRow row;
+  row.point = point;
+  row.matrix_index = index;
+  try {
+    RefineResult r = refine(part, graph, point.config);
+    const BusRateReport rates = bus_rates(prof, part, r.plan, opts.clock_hz);
+    const CostReport cost = estimate_cost(r, rates);
+    row.buses = r.stats.buses;
+    row.lines = count_lines(print(r.refined));
+    row.peak_mbps = rates.max_rate();
+    row.cost = cost.total;
+
+    const analysis::Report rep = analysis::analyze(r.refined);
+    row.sa_errors = rep.count(Severity::Error);
+    row.sa_warnings = rep.count(Severity::Warning);
+
+    SimConfig sc;
+    sc.use_lowering = opts.use_lowering;
+    if (opts.max_cycles != 0) sc.max_cycles = opts.max_cycles;
+    sc.clock_hz = opts.clock_hz;
+
+    Simulator sim(r.refined, sc, ctx.programs);
+    std::unique_ptr<BusTracer> tracer;
+    if (sc.use_lowering) {  // slot-indexed tracing requires lowering
+      tracer = std::make_unique<BusTracer>(r.refined);
+      sim.add_slot_observer(tracer.get());
+    }
+    const SimResult res = sim.run();
+    row.cycles = res.end_time;
+    // The refined top is a Concurrent composite whose servers (memories,
+    // arbiters, interfaces) never finish; liveness means the original top
+    // behavior's control flow completed inside the refined spec.
+    row.root_completed = res.root_completed;
+    if (!row.root_completed && spec.top) {
+      auto it = res.behavior_completions.find(spec.top->name);
+      row.root_completed =
+          it != res.behavior_completions.end() && it->second > 0;
+    }
+    if (tracer) {
+      const MetricsReport m = MetricsReport::from(*tracer);
+      for (const MetricsReport::BusRow& b : m.buses) {
+        row.contention_cycles += b.contention_cycles;
+        if (b.utilization_pct > row.peak_util_pct) {
+          row.peak_util_pct = b.utilization_pct;
+          row.busiest_bus = b.name;
+        }
+      }
+    }
+
+    if (opts.verify) {
+      EquivalenceOptions eo;
+      eo.config = sc;
+      // Byte-serial transfers split wide writes into beats, so observable
+      // write traces legitimately differ (same policy as `refine --verify`
+      // and the fuzz oracles).
+      eo.compare_write_traces =
+          point.config.protocol == ProtocolStyle::FullHandshake;
+      eo.programs = ctx.programs;  // the refined spec re-lowers as a hit
+      row.verified = true;
+      row.equivalent = check_equivalence(spec, r.refined, eo).equivalent;
+    }
+    row.refine_ok = true;
+  } catch (const SpecError& e) {
+    row.refine_ok = false;
+    row.error = e.what();
+  }
+  return row;
+}
+
+}  // namespace
+
+std::string SweepPoint::label() const {
+  std::string s = "model";
+  s += std::to_string(static_cast<int>(config.model) + 1);
+  s += config.protocol == ProtocolStyle::FullHandshake ? "/hs" : "/bs";
+  s += config.leaf_scheme == LeafScheme::LoopLeaf ? "/loop" : "/wrapper";
+  s += config.inline_protocols ? "/inline" : "/shared";
+  return s;
+}
+
+std::vector<SweepPoint> full_matrix() {
+  std::vector<SweepPoint> points;
+  points.reserve(32);
+  for (ImplModel m : {ImplModel::Model1, ImplModel::Model2, ImplModel::Model3,
+                      ImplModel::Model4}) {
+    for (ProtocolStyle p :
+         {ProtocolStyle::FullHandshake, ProtocolStyle::ByteSerial}) {
+      for (LeafScheme s : {LeafScheme::LoopLeaf, LeafScheme::WrapperSeq}) {
+        for (bool inl : {true, false}) {
+          SweepPoint pt;
+          pt.config.model = m;
+          pt.config.protocol = p;
+          pt.config.leaf_scheme = s;
+          pt.config.inline_protocols = inl;
+          points.push_back(pt);
+        }
+      }
+    }
+  }
+  return points;
+}
+
+std::vector<SweepPoint> model_axis() {
+  std::vector<SweepPoint> points;
+  points.reserve(4);
+  for (ImplModel m : {ImplModel::Model1, ImplModel::Model2, ImplModel::Model3,
+                      ImplModel::Model4}) {
+    SweepPoint pt;
+    pt.config.model = m;
+    points.push_back(pt);
+  }
+  return points;
+}
+
+SweepReport run_sweep(const Specification& spec, const Partition& part,
+                      const AccessGraph& graph, const ProfileResult& prof,
+                      const std::vector<SweepPoint>& matrix,
+                      const SweepOptions& opts, ThreadPool& pool) {
+  SweepReport report;
+  report.verify = opts.verify;
+  report.rows = run_batch<SweepRow>(
+      pool, matrix.size(), [&](size_t job, WorkerContext& ctx) {
+        return eval_point(spec, part, graph, prof, opts, matrix[job], job, ctx);
+      });
+  // Rank best-first. Every key is deterministic per-row data and the matrix
+  // index breaks all remaining ties, so the order (and hence table()/json())
+  // is identical for any worker count.
+  std::stable_sort(
+      report.rows.begin(), report.rows.end(),
+      [](const SweepRow& x, const SweepRow& y) {
+        const auto key = [](const SweepRow& r) {
+          return std::make_tuple(r.refine_ok ? 0 : 1,
+                                 r.verified && !r.equivalent ? 1 : 0,
+                                 r.root_completed || !r.refine_ok ? 0 : 1,
+                                 r.sa_errors, r.cycles, r.cost,
+                                 r.matrix_index);
+        };
+        return key(x) < key(y);
+      });
+  return report;
+}
+
+std::string SweepReport::table() const {
+  std::string out;
+  appendf(out, "sweep: %zu configuration(s)%s\n", rows.size(),
+          verify ? ", equivalence-verified" : "");
+  appendf(out, "%4s  %-28s %5s %12s %9s %6s %10s %6s %5s %s\n", "rank",
+          "config", "buses", "peak Mbit/s", "cost", "SA e/w", "cycles",
+          "util%", "live", verify ? "equiv" : "");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    if (!r.refine_ok) {
+      appendf(out, "%4zu  %-28s FAILED: %s\n", i + 1, r.point.label().c_str(),
+              r.error.c_str());
+      continue;
+    }
+    char saw[32];
+    snprintf(saw, sizeof saw, "%zu/%zu", r.sa_errors, r.sa_warnings);
+    appendf(out, "%4zu  %-28s %5zu %12.1f %9.1f %6s %10" PRIu64
+                 " %6.1f %5s %s\n",
+            i + 1, r.point.label().c_str(), r.buses, r.peak_mbps, r.cost, saw,
+            r.cycles, r.peak_util_pct, r.root_completed ? "yes" : "no",
+            !verify ? "" : (r.equivalent ? "yes" : "NO"));
+  }
+  return out;
+}
+
+std::string SweepReport::json() const {
+  std::string out = "{\n";
+  appendf(out, "  \"configs\": %zu,\n", rows.size());
+  appendf(out, "  \"verify\": %s,\n", verify ? "true" : "false");
+  out += "  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    out += "    {";
+    appendf(out, "\"rank\": %zu, ", i + 1);
+    appendf(out, "\"config\": \"%s\", ", r.point.label().c_str());
+    appendf(out, "\"model\": %d, ",
+            static_cast<int>(r.point.config.model) + 1);
+    appendf(out, "\"protocol\": \"%s\", ",
+            r.point.config.protocol == ProtocolStyle::FullHandshake ? "hs"
+                                                                    : "bs");
+    appendf(out, "\"scheme\": \"%s\", ",
+            r.point.config.leaf_scheme == LeafScheme::LoopLeaf ? "loop"
+                                                               : "wrapper");
+    appendf(out, "\"inline\": %s, ",
+            r.point.config.inline_protocols ? "true" : "false");
+    appendf(out, "\"refine_ok\": %s, ", r.refine_ok ? "true" : "false");
+    appendf(out, "\"buses\": %zu, ", r.buses);
+    appendf(out, "\"lines\": %zu, ", r.lines);
+    appendf(out, "\"peak_mbps\": %.1f, ", r.peak_mbps);
+    appendf(out, "\"cost\": %.1f, ", r.cost);
+    appendf(out, "\"sa_errors\": %zu, ", r.sa_errors);
+    appendf(out, "\"sa_warnings\": %zu, ", r.sa_warnings);
+    appendf(out, "\"cycles\": %" PRIu64 ", ", r.cycles);
+    appendf(out, "\"root_completed\": %s, ",
+            r.root_completed ? "true" : "false");
+    appendf(out, "\"peak_util_pct\": %.1f, ", r.peak_util_pct);
+    appendf(out, "\"contention_cycles\": %" PRIu64 ", ", r.contention_cycles);
+    appendf(out, "\"busiest_bus\": \"%s\", ",
+            json_escape(r.busiest_bus).c_str());
+    appendf(out, "\"verified\": %s, ", r.verified ? "true" : "false");
+    appendf(out, "\"equivalent\": %s, ", r.equivalent ? "true" : "false");
+    appendf(out, "\"error\": \"%s\"", json_escape(r.error).c_str());
+    out += i + 1 < rows.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace specsyn::batch

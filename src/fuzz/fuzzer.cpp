@@ -1,10 +1,12 @@
 #include "fuzz/fuzzer.h"
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 
+#include "batch/thread_pool.h"
 #include "fuzz/generator.h"
 #include "fuzz/reducer.h"
 #include "printer/printer.h"
@@ -36,7 +38,112 @@ void write_file(const std::string& path, const std::string& text) {
   out << text;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Everything one seed produces, computed in the (possibly parallel) sweep
+/// phase. Side effects — file writes, log lines — happen later, in the
+/// serial seed-order merge, so output is byte-identical for any job count.
+struct SeedOutcome {
+  uint64_t seed = 0;
+  OracleConfig config;
+  bool ok = true;
+  bool injection_applied = false;
+  std::vector<FuzzIssue> issues;
+  std::string dump_text;        // pre-rendered --dump file (if dumping)
+  std::string reproducer_body;  // pre-rendered reproducer (if failing)
+  size_t spec_lines = 0;
+  size_t reduced_from = 0;
+};
+
+SeedOutcome eval_seed(const FuzzOptions& opts, size_t index,
+                      ProgramCache* programs, bool parallel_equivalence) {
+  SeedOutcome o;
+  o.seed = opts.start_seed + index;
+  GenOptions gen;
+  gen.seed = o.seed;
+  gen.stmt_budget = opts.stmt_budget;
+  const Specification spec = generate_spec(gen);
+  o.config = sample_config(o.seed);
+
+  if (!opts.dump_dir.empty()) {
+    o.dump_text = "// seed " + std::to_string(o.seed) + "\n// config " +
+                  o.config.str() + "\n\n" + print(spec);
+  }
+
+  OracleOptions oopts;
+  oopts.max_cycles = opts.max_cycles;
+  oopts.inject = opts.inject;
+  oopts.programs = programs;
+  oopts.parallel_equivalence = parallel_equivalence;
+
+  const OracleOutcome outcome = run_oracles(spec, o.config, oopts);
+  o.injection_applied =
+      outcome.injection_applied && opts.inject != InjectedBug::None;
+  o.ok = outcome.ok();
+  if (o.ok) return o;
+
+  o.issues = outcome.issues;
+  Specification repro = spec.clone();
+  if (opts.reduce) {
+    o.reduced_from = count_lines(print(spec));
+    const FailPredicate still_fails = [&](const Specification& cand) {
+      return !run_oracles(cand, o.config, oopts).ok();
+    };
+    ReduceStats stats;
+    repro = reduce_spec(spec, still_fails, &stats);
+    o.issues = run_oracles(repro, o.config, oopts).issues;
+  }
+  o.spec_lines = count_lines(print(repro));
+  o.reproducer_body =
+      reproducer_text(repro, o.seed, o.config, o.issues, opts.inject);
+  return o;
+}
+
 }  // namespace
+
+std::string FuzzReport::json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"seeds_run\": " << seeds_run << ",\n";
+  os << "  \"injections_applied\": " << injections_applied << ",\n";
+  os << "  \"failing\": " << failures.size() << ",\n";
+  os << "  \"failures\": [\n";
+  for (size_t i = 0; i < failures.size(); ++i) {
+    const FuzzFailure& f = failures[i];
+    os << "    {\"seed\": " << f.seed << ", \"config\": \""
+       << json_escape(f.config.str()) << "\", \"reproducer\": \""
+       << json_escape(f.reproducer_path) << "\", \"lines\": " << f.spec_lines
+       << ", \"reduced_from\": " << f.reduced_from << ", \"issues\": [";
+    for (size_t j = 0; j < f.issues.size(); ++j) {
+      os << (j == 0 ? "" : ", ") << "{\"oracle\": \""
+         << json_escape(f.issues[j].oracle) << "\", \"detail\": \""
+         << json_escape(f.issues[j].detail) << "\"}";
+    }
+    os << "]}" << (i + 1 < failures.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
 
 FuzzReport run_fuzz(const FuzzOptions& opts, std::ostream& log) {
   FuzzReport report;
@@ -45,55 +152,52 @@ FuzzReport run_fuzz(const FuzzOptions& opts, std::ostream& log) {
     std::filesystem::create_directories(opts.dump_dir);
   }
 
-  OracleOptions oopts;
-  oopts.max_cycles = opts.max_cycles;
-  oopts.inject = opts.inject;
-
-  for (size_t i = 0; i < opts.seeds; ++i) {
-    const uint64_t seed = opts.start_seed + i;
-    GenOptions gen;
-    gen.seed = seed;
-    gen.stmt_budget = opts.stmt_budget;
-    const Specification spec = generate_spec(gen);
-    const OracleConfig cfg = sample_config(seed);
-
-    if (!opts.dump_dir.empty()) {
-      write_file(opts.dump_dir + "/spec_" + std::to_string(seed) + ".spec",
-                 "// seed " + std::to_string(seed) + "\n// config " +
-                     cfg.str() + "\n\n" + print(spec));
+  // Phase 1: sweep the seeds. Each seed is an independent job; a serial
+  // sweep instead overlaps the two simulations inside the equivalence
+  // oracle, so one thread is never left idle on a multi-core box.
+  std::vector<SeedOutcome> outcomes;
+  const size_t jobs =
+      opts.jobs == 0 ? batch::ThreadPool::default_workers() : opts.jobs;
+  if (jobs <= 1) {
+    ProgramCache programs;
+    outcomes.reserve(opts.seeds);
+    for (size_t i = 0; i < opts.seeds; ++i) {
+      outcomes.push_back(
+          eval_seed(opts, i, &programs, /*parallel_equivalence=*/true));
     }
+  } else {
+    batch::ThreadPool pool(jobs);
+    outcomes = batch::run_batch<SeedOutcome>(
+        pool, opts.seeds, [&](size_t job, batch::WorkerContext& ctx) {
+          return eval_seed(opts, job, ctx.programs,
+                           /*parallel_equivalence=*/false);
+        });
+  }
 
-    const OracleOutcome outcome = run_oracles(spec, cfg, oopts);
+  // Phase 2: merge in seed order — every file write and log line happens
+  // here, serially, so the output does not depend on the job count.
+  for (SeedOutcome& o : outcomes) {
     ++report.seeds_run;
-    if (outcome.injection_applied && opts.inject != InjectedBug::None) {
-      ++report.injections_applied;
+    if (o.injection_applied) ++report.injections_applied;
+    if (!opts.dump_dir.empty()) {
+      write_file(opts.dump_dir + "/spec_" + std::to_string(o.seed) + ".spec",
+                 o.dump_text);
     }
-    if (outcome.ok()) continue;
+    if (o.ok) continue;
 
     FuzzFailure fail;
-    fail.seed = seed;
-    fail.config = cfg;
-    fail.issues = outcome.issues;
-
-    Specification repro = spec.clone();
-    if (opts.reduce) {
-      fail.reduced_from = count_lines(print(spec));
-      const FailPredicate still_fails = [&](const Specification& cand) {
-        return !run_oracles(cand, cfg, oopts).ok();
-      };
-      ReduceStats stats;
-      repro = reduce_spec(spec, still_fails, &stats);
-      fail.issues = run_oracles(repro, cfg, oopts).issues;
-    }
-    fail.spec_lines = count_lines(print(repro));
+    fail.seed = o.seed;
+    fail.config = o.config;
+    fail.issues = std::move(o.issues);
+    fail.spec_lines = o.spec_lines;
+    fail.reduced_from = o.reduced_from;
 
     std::filesystem::create_directories(opts.out_dir);
     fail.reproducer_path =
-        opts.out_dir + "/repro_seed" + std::to_string(seed) + ".spec";
-    write_file(fail.reproducer_path,
-               reproducer_text(repro, seed, cfg, fail.issues, opts.inject));
+        opts.out_dir + "/repro_seed" + std::to_string(o.seed) + ".spec";
+    write_file(fail.reproducer_path, o.reproducer_body);
 
-    log << "FAIL seed " << seed << " [" << cfg.str() << "]";
+    log << "FAIL seed " << o.seed << " [" << fail.config.str() << "]";
     if (opts.reduce) {
       log << " reduced " << fail.reduced_from << " -> " << fail.spec_lines
           << " lines";

@@ -35,6 +35,14 @@ struct FuzzOptions {
   /// Planted refiner bug, for proving the oracles and reducer are live.
   InjectedBug inject = InjectedBug::None;
   uint64_t max_cycles = 5'000'000;
+  /// Worker threads for the seed sweep (1 = serial in the calling thread,
+  /// 0 = one per core). Seeds are independent jobs on a batch::ThreadPool;
+  /// per-seed work (including reduction) runs concurrently, while file
+  /// writes and the log stream are emitted in a serial seed-order merge
+  /// phase — so the report and the log are byte-identical for any value.
+  /// A serial sweep instead parallelizes inside each seed's equivalence
+  /// check (OracleOptions::parallel_equivalence).
+  size_t jobs = 1;
 };
 
 struct FuzzFailure {
@@ -53,6 +61,9 @@ struct FuzzReport {
   std::vector<FuzzFailure> failures;
 
   [[nodiscard]] bool ok() const { return failures.empty(); }
+  /// Machine-readable report for `specsyn fuzz --json` (stable field order,
+  /// failures in seed order — byte-identical for any --jobs value).
+  [[nodiscard]] std::string json() const;
 };
 
 /// Runs the fuzz loop, logging one line per failure plus a summary to `log`.

@@ -111,13 +111,14 @@ std::string diff_sim_results(const SimResult& a, const SimResult& b) {
 }
 
 void check_interp_diff(const Specification& spec, const std::string& oracle,
-                       OracleOutcome& out, uint64_t max_cycles) {
+                       OracleOutcome& out, uint64_t max_cycles,
+                       ProgramCache* programs) {
   SimConfig lowered;
   lowered.use_lowering = true;
   lowered.max_cycles = max_cycles;
   SimConfig legacy = lowered;
   legacy.use_lowering = false;
-  const SimResult a = Simulator(spec, lowered).run();
+  const SimResult a = Simulator(spec, lowered, programs).run();
   const SimResult b = Simulator(spec, legacy).run();
   const std::string diff = diff_sim_results(a, b);
   if (!diff.empty()) add_issue(out, oracle, diff);
@@ -205,7 +206,7 @@ OracleOutcome run_oracles(const Specification& spec, const OracleConfig& cfg,
   }
 
   check_roundtrip(spec, "roundtrip", out);
-  check_interp_diff(spec, "interp-diff", out, opts.max_cycles);
+  check_interp_diff(spec, "interp-diff", out, opts.max_cycles, opts.programs);
   check_analysis(spec, "analysis-original", out);
 
   Specification refined;
@@ -235,11 +236,14 @@ OracleOutcome run_oracles(const Specification& spec, const OracleConfig& cfg,
   }
 
   check_roundtrip(refined, "roundtrip-refined", out);
-  check_interp_diff(refined, "interp-diff-refined", out, opts.max_cycles);
+  check_interp_diff(refined, "interp-diff-refined", out, opts.max_cycles,
+                    opts.programs);
 
   EquivalenceOptions eo;
   eo.config.max_cycles = opts.max_cycles;
   eo.compare_write_traces = cfg.protocol == ProtocolStyle::FullHandshake;
+  eo.parallel = opts.parallel_equivalence;
+  eo.programs = opts.programs;
   const EquivalenceReport rep = check_equivalence(spec, refined, eo);
   if (!rep.equivalent) add_issue(out, "equivalence", rep.summary());
 

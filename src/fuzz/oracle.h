@@ -28,6 +28,10 @@
 #include "refine/types.h"
 #include "spec/specification.h"
 
+namespace specsyn {
+class ProgramCache;
+}
+
 namespace specsyn::fuzz {
 
 /// One sampled point of the refinement configuration space.
@@ -83,6 +87,15 @@ struct OracleOptions {
   /// Simulation bound for every run the oracles perform.
   uint64_t max_cycles = 5'000'000;
   InjectedBug inject = InjectedBug::None;
+  /// Optional lowered-program cache consulted by every lowered simulation
+  /// the oracles run (interp-diff runs each spec lowered once, equivalence
+  /// again — the cache collapses the repeated compiles). Typically the batch
+  /// worker's own cache.
+  ProgramCache* programs = nullptr;
+  /// Run the two equivalence simulations concurrently. Only sensible when
+  /// the seed sweep itself is serial (`fuzz --jobs 1`); a parallel sweep
+  /// already saturates the pool.
+  bool parallel_equivalence = false;
 };
 
 /// Runs every oracle on `spec` (which must be valid — the first check) under

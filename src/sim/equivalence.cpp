@@ -1,7 +1,11 @@
 #include "sim/equivalence.h"
 
+#include <exception>
 #include <map>
 #include <sstream>
+#include <thread>
+
+#include "sim/program_cache.h"
 
 namespace specsyn {
 
@@ -30,13 +34,33 @@ EquivalenceReport check_equivalence(const Specification& original,
                                     const EquivalenceOptions& opts) {
   EquivalenceReport report;
 
-  {
-    Simulator sim(original, opts.config);
-    report.original_result = sim.run();
-  }
-  {
-    Simulator sim(refined, opts.config);
-    report.refined_result = sim.run();
+  const auto run_one = [&opts](const Specification& s) {
+    Simulator sim(s, opts.config, opts.programs);
+    return sim.run();
+  };
+  if (opts.parallel) {
+    // The spawned thread simulates the original; the caller simulates the
+    // refined (usually the bigger job). Both results land in fixed fields,
+    // so the merged report cannot depend on which finishes first.
+    std::exception_ptr original_err;
+    std::thread t([&] {
+      try {
+        report.original_result = run_one(original);
+      } catch (...) {
+        original_err = std::current_exception();
+      }
+    });
+    try {
+      report.refined_result = run_one(refined);
+    } catch (...) {
+      t.join();
+      throw;
+    }
+    t.join();
+    if (original_err) std::rethrow_exception(original_err);
+  } else {
+    report.original_result = run_one(original);
+    report.refined_result = run_one(refined);
   }
 
   const SimResult& a = report.original_result;

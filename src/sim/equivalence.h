@@ -25,6 +25,16 @@ struct EquivalenceOptions {
   SimConfig config;
   /// Compare per-variable observable write sequences (not just final values).
   bool compare_write_traces = true;
+  /// Run the two simulations concurrently (the original on a spawned thread,
+  /// the refined on the caller's). Results are merged in a fixed order, so
+  /// the report is identical to a serial run. Worth it when both specs are
+  /// expensive to simulate; the per-seed fuzz oracles enable it whenever the
+  /// seed sweep itself is serial.
+  bool parallel = false;
+  /// Optional lowered-program cache; both simulations consult it. Safe to
+  /// share across threads (internally locked), but the intended deployment
+  /// is one cache per batch worker.
+  ProgramCache* programs = nullptr;
 };
 
 struct EquivalenceReport {

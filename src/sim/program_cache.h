@@ -1,0 +1,78 @@
+// Content-keyed LRU cache of lowered execution plans (sim/program.h).
+//
+// Batch sweeps and the differential-fuzz oracles simulate the same refined
+// specification several times (lowered-vs-legacy diff, then equivalence, then
+// a measured run), and each Simulator re-lowers the spec from scratch. The
+// cache removes the repeated compile: entries are keyed by the *canonical
+// printed form* of the specification plus the SimConfig fields, so two
+// Specification objects with identical content share one Program, and any
+// SimConfig change misses (and thereby invalidates) cleanly.
+//
+// A Program holds `src` back-pointers into the Specification it was compiled
+// from, so a cached Program cannot point into the caller's spec (which may
+// die before the cache entry does). Each entry therefore owns a clone of the
+// source spec and compiles against that clone; slot indices still line up
+// with any content-identical spec because the Simulator's VarTable /
+// SignalTable are built in deterministic declaration order.
+//
+// Thread-safety: all public members are safe to call concurrently (one mutex
+// around the index; compilation happens outside the lock, so two threads
+// missing on the same key at once both compile and one result wins). The
+// intended deployment is one cache per batch worker (batch::WorkerContext),
+// where the mutex is uncontended.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sim/simulator.h"
+
+namespace specsyn {
+
+/// A compiled Program together with the spec clone it points into. Holders
+/// keep the shared_ptr for as long as they use the Program (the Simulator
+/// does this automatically).
+struct CachedProgram {
+  std::shared_ptr<const Specification> source;
+  std::shared_ptr<const Program> program;
+};
+
+class ProgramCache {
+ public:
+  /// `capacity` bounds the number of retained programs (LRU eviction).
+  explicit ProgramCache(size_t capacity = 16);
+
+  /// Returns the lowered program for a spec with this content under `cfg`,
+  /// compiling on miss. `spec` must be valid (validate_or_throw).
+  [[nodiscard]] std::shared_ptr<const CachedProgram> get(
+      const Specification& spec, const SimConfig& cfg);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] size_t size() const;
+  [[nodiscard]] size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CachedProgram> cached;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  /// Most-recently-used first; index_ points into this list.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace specsyn

@@ -2,9 +2,12 @@
 // The per-statement interpreter lives in interp.cpp.
 #include "sim/simulator.h"
 
+#include <algorithm>
+
 #include "printer/printer.h"
 #include "sim/frames.h"
 #include "sim/program.h"
+#include "sim/program_cache.h"
 
 namespace specsyn {
 
@@ -23,12 +26,18 @@ std::priority_queue<Ev, std::vector<Ev>, std::greater<>> make_queue(
 
 }  // namespace
 
-Simulator::Simulator(const Specification& spec, SimConfig cfg)
+Simulator::Simulator(const Specification& spec, SimConfig cfg,
+                     ProgramCache* programs)
     : spec_(spec), cfg_(cfg) {
   validate_or_throw(spec_);
   build_tables();
   if (cfg_.use_lowering) {
-    prog_ = Program::compile(spec_, vars_, signals_);
+    if (programs != nullptr) {
+      cached_ = programs->get(spec_, cfg_);
+      prog_ = cached_->program;
+    } else {
+      prog_ = Program::compile(spec_, vars_, signals_);
+    }
     ops_base_ = prog_->ops().data();
     eval_stack_.assign(std::max<uint32_t>(1, prog_->max_eval_stack()), 0);
     completions_.assign(prog_->behavior_count(), 0);
@@ -40,6 +49,23 @@ Simulator::Simulator(const Specification& spec, SimConfig cfg)
 }
 
 Simulator::~Simulator() = default;
+
+void Simulator::reset() {
+  vars_.reset();
+  signals_.reset();
+  processes_.clear();
+  run_q_ = make_queue<RunEvent>(1024);
+  sig_q_ = make_queue<SignalEvent>(1024);
+  for (auto& w : waiters_) w.clear();
+  raw_writes_.clear();
+  behavior_completions_.clear();
+  std::fill(completions_.begin(), completions_.end(), 0);
+  seq_counter_ = 0;
+  now_ = 0;
+  steps_ = 0;
+  ran_ = false;
+  root_ = nullptr;
+}
 
 void Simulator::add_observer(SimObserver* obs) { observers_.push_back(obs); }
 

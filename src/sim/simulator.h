@@ -185,10 +185,17 @@ struct LExpr;
 struct LOp;
 struct LTarget;
 
+class ProgramCache;
+struct CachedProgram;
+
 class Simulator {
  public:
   /// `spec` must outlive the simulator and be valid (validate_or_throw).
-  explicit Simulator(const Specification& spec, SimConfig cfg = {});
+  /// When `programs` is non-null (and lowering is on), the compiled Program
+  /// is fetched from / inserted into that cache instead of compiled fresh —
+  /// the cache entry is pinned for the simulator's lifetime.
+  explicit Simulator(const Specification& spec, SimConfig cfg = {},
+                     ProgramCache* programs = nullptr);
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -201,8 +208,15 @@ class Simulator {
   /// SpecError when the simulator was built with use_lowering off.
   void add_slot_observer(SlotObserver* obs);
 
-  /// Runs to quiescence (or max_cycles). May be called once per Simulator.
+  /// Runs to quiescence (or max_cycles). May be called once per run; call
+  /// reset() to run the same spec again on the same simulator.
   SimResult run();
+
+  /// Restores the just-constructed state (initial variable/signal values,
+  /// no processes, empty queues) so run() may be called again, reusing the
+  /// compiled Program and table layout. Registered observers stay attached;
+  /// observers that accumulate per-run state are the caller's to refresh.
+  void reset();
 
   [[nodiscard]] const SimConfig& config() const { return cfg_; }
 
@@ -252,8 +266,12 @@ class Simulator {
   VarTable vars_;
   SignalTable signals_;
 
-  /// Compiled execution plan (null when cfg_.use_lowering is off).
-  std::unique_ptr<const Program> prog_;
+  /// Compiled execution plan (null when cfg_.use_lowering is off). Shared:
+  /// either owned solely by this simulator or pinned in a ProgramCache.
+  std::shared_ptr<const Program> prog_;
+  /// Cache entry anchor: keeps the spec clone a cached prog_ points into
+  /// alive for the simulator's lifetime (null when compiled fresh).
+  std::shared_ptr<const CachedProgram> cached_;
   /// Base of prog_'s pooled postfix ops (cached; LExpr ranges index into it).
   const LOp* ops_base_ = nullptr;
   /// Scratch value stack for leval, sized to prog_->max_eval_stack().

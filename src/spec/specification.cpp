@@ -13,19 +13,24 @@ Specification Specification::clone() const {
   return s;
 }
 
-Behavior* Specification::find_behavior(const std::string& n) const {
+const Behavior* Specification::find_behavior(const std::string& n) const {
   if (!top) return nullptr;
-  Behavior* found = nullptr;
-  top->for_each([&](Behavior& b) {
+  const Behavior* found = nullptr;
+  top->for_each([&](const Behavior& b) {
     if (!found && b.name == n) found = &b;
   });
   return found;
 }
 
-Behavior* Specification::parent_of(const std::string& n) const {
+Behavior* Specification::find_behavior(const std::string& n) {
+  return const_cast<Behavior*>(
+      static_cast<const Specification*>(this)->find_behavior(n));
+}
+
+const Behavior* Specification::parent_of(const std::string& n) const {
   if (!top) return nullptr;
-  Behavior* found = nullptr;
-  top->for_each([&](Behavior& b) {
+  const Behavior* found = nullptr;
+  top->for_each([&](const Behavior& b) {
     if (found) return;
     for (const auto& c : b.children) {
       if (c->name == n) {
@@ -37,7 +42,17 @@ Behavior* Specification::parent_of(const std::string& n) const {
   return found;
 }
 
-std::vector<Behavior*> Specification::all_behaviors() const {
+Behavior* Specification::parent_of(const std::string& n) {
+  return const_cast<Behavior*>(
+      static_cast<const Specification*>(this)->parent_of(n));
+}
+
+std::vector<const Behavior*> Specification::all_behaviors() const {
+  if (!top) return {};
+  return static_cast<const Behavior&>(*top).all_behaviors();
+}
+
+std::vector<Behavior*> Specification::all_behaviors() {
   if (!top) return {};
   return top->all_behaviors();
 }

@@ -34,15 +34,24 @@ struct Specification {
   [[nodiscard]] Specification clone() const;
 
   // -- lookup ---------------------------------------------------------------
+  //
+  // Lookups come in const/non-const pairs: a `const Specification&` hands out
+  // only `const Behavior*`, so a spec shared read-only across batch workers
+  // (src/batch) cannot be mutated through a lookup — the compiler enforces
+  // the const-sharing contract. Passes that rewrite a spec (refine, reducer,
+  // mutation tests) hold a non-const object and get the mutable overloads.
 
   /// Behavior with the given name anywhere in the hierarchy, or nullptr.
-  [[nodiscard]] Behavior* find_behavior(const std::string& name) const;
+  [[nodiscard]] Behavior* find_behavior(const std::string& name);
+  [[nodiscard]] const Behavior* find_behavior(const std::string& name) const;
 
   /// Parent of the named behavior; nullptr for top or unknown names.
-  [[nodiscard]] Behavior* parent_of(const std::string& name) const;
+  [[nodiscard]] Behavior* parent_of(const std::string& name);
+  [[nodiscard]] const Behavior* parent_of(const std::string& name) const;
 
   /// All behaviors, pre-order from top.
-  [[nodiscard]] std::vector<Behavior*> all_behaviors() const;
+  [[nodiscard]] std::vector<Behavior*> all_behaviors();
+  [[nodiscard]] std::vector<const Behavior*> all_behaviors() const;
 
   /// Declaration of the named variable (spec level or any behavior), or
   /// nullptr. `owner`, when non-null, receives the declaring behavior

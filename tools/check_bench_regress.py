@@ -5,7 +5,12 @@ Compares a fresh benchmark run (the compact JSON written by bench binaries
 via bench/bench_json.h) against a committed baseline and fails when any
 benchmark present in both files got slower by more than the threshold.
 
-    check_bench_regress.py BASELINE.json CURRENT.json [--threshold 0.10]
+    check_bench_regress.py BASELINE.json CURRENT.json... [--threshold 0.10]
+
+Several CURRENT files may be given (one per bench binary); their entries are
+merged before comparison, so a single committed baseline can cover the whole
+bench fleet. A name appearing in more than one current file pools all of its
+repetitions.
 
 Runs made with --benchmark_repetitions emit one entry per repetition; the
 gate aggregates all repetitions of a name and compares MEDIANS, with two
@@ -66,7 +71,7 @@ def spread(samples, median):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("current", nargs="+")
     ap.add_argument(
         "--threshold",
         type=float,
@@ -77,7 +82,10 @@ def main():
     args = ap.parse_args()
 
     base = load(args.baseline)
-    cur = load(args.current)
+    cur = {}
+    for path in args.current:
+        for name, samples in load(path).items():
+            cur.setdefault(name, []).extend(samples)
 
     common = [n for n in base if n in cur]
     drift = 1.0

@@ -6,6 +6,9 @@
 //   specsyn simulate <file.spec> [options]           run and report results
 //   specsyn graph    <file.spec> [partition opts]    Graphviz DOT export
 //   specsyn refine   <file.spec> [options]           full model refinement
+//   specsyn sweep    <file.spec> [options]           parallel design-space
+//                                                    sweep over the model x
+//                                                    protocol x scheme matrix
 //   specsyn fuzz     [options]                       differential fuzzing
 //
 // simulate options:
@@ -34,13 +37,24 @@
 //   --verify               check functional equivalence (exit 1 on mismatch)
 //   -o FILE                write primary output to FILE (default stdout)
 //
+// sweep options:
+//   partition options as for refine (--assign/--pin-var/--ratio/--asics),
+//   --jobs N               worker threads (default 1; 0 = one per core);
+//                          output is byte-identical for any value
+//   --verify               also check functional equivalence per point
+//   --json                 emit the ranked rows as JSON instead of the table
+//   --max-cycles N ; --clock-hz HZ ; --no-lowering ; -o FILE
+//
 // fuzz options:
 //   --seeds N              number of seeds to run (default 100)
 //   --seed S               first seed (default 1)
+//   --jobs N               worker threads for the seed sweep (default 1;
+//                          0 = one per core); output is byte-identical
 //   --budget B             generator statement budget per spec (default 40)
 //   --reduce               shrink failing specs before writing reproducers
 //   --out DIR              reproducer directory (default fuzz-failures)
 //   --dump DIR             also dump every generated spec (corpus mining)
+//   --json FILE            write the machine-readable report to FILE
 //   --inject-bug done|data plant a known refiner bug (oracle self-test)
 //   --max-cycles N         per-simulation bound (default 5000000)
 #include <cstdio>
@@ -53,6 +67,8 @@
 #include <vector>
 
 #include "analysis/verifier.h"
+#include "batch/sweep.h"
+#include "batch/thread_pool.h"
 #include "estimate/profile.h"
 #include "fuzz/fuzzer.h"
 #include "estimate/rates.h"
@@ -76,7 +92,7 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: specsyn <check|print|simulate|graph|refine> "
+               "usage: specsyn <check|print|simulate|graph|refine|sweep> "
                "<file.spec> [options]\n"
                "       specsyn fuzz [options]\n"
                "run `specsyn help` for the full option list\n");
@@ -96,6 +112,11 @@ commands:
   simulate <file.spec>   run the discrete-event simulator, report results
   graph    <file.spec>   Graphviz DOT of the access graph
   refine   <file.spec>   transform into an implementation model
+  sweep    <file.spec>   refine, statically verify, price and simulate every
+                         point of the model x protocol x scheme x inline
+                         matrix (32 configurations) on a worker pool; print
+                         the ranked comparison (the paper's Section 5
+                         experiment as one command)
   fuzz                   generate random specs, refine each under a sampled
                          config, and cross-check every pipeline layer
                          (round-trip, interpreter diff, equivalence, static
@@ -117,13 +138,25 @@ refine options:
   --assign B=C ; --pin-var V=C ; --ratio balanced|local|global ; --asics N
   --vhdl ; --report ; --rates ; --verify ; --no-lowering ; -o FILE
 
+sweep options:
+  --jobs N               worker threads (default 1; 0 = one per core); the
+                         ranked output is byte-identical for any value
+  --verify               also check per-point functional equivalence
+  --json                 emit the ranked rows as JSON instead of the table
+  partition options as for refine ; --max-cycles N ; --clock-hz HZ ;
+  --no-lowering ; -o FILE
+
 fuzz options:
   --seeds N              number of seeds to run (default 100)
   --seed S               first seed (default 1)
+  --jobs N               worker threads for the seed sweep (default 1;
+                         0 = one per core); report, reproducers and log are
+                         byte-identical for any value
   --budget B             generator statement budget per spec (default 40)
   --reduce               shrink failing specs before writing reproducers
   --out DIR              reproducer directory (default fuzz-failures)
   --dump DIR             also dump every generated spec (corpus mining)
+  --json FILE            write the machine-readable report to FILE
   --inject-bug done|data plant a known refiner bug (oracle self-test)
   --max-cycles N         per-simulation bound (default 5000000)
 )");
@@ -160,6 +193,7 @@ struct Args {
   std::string trace_file;
   std::string metrics_json_file;
   size_t asics = 0;  // 0 => PROC+ASIC
+  size_t jobs = 1;   // sweep workers; 0 => one per core
   std::vector<std::pair<std::string, size_t>> assigns;
   std::vector<std::pair<std::string, size_t>> var_pins;
   std::string ratio;  // "", balanced, local, global
@@ -260,6 +294,10 @@ int parse_args(int argc, char** argv, Args& a) {
       const char* v = next();
       if (!v) return 2;
       a.asics = static_cast<size_t>(std::atoi(v));
+    } else if (f == "--jobs") {
+      const char* v = next();
+      if (!v) return 2;
+      a.jobs = static_cast<size_t>(std::strtoul(v, nullptr, 10));
     } else if (f == "--assign") {
       const char* v = next();
       std::pair<std::string, size_t> kv;
@@ -473,6 +511,7 @@ int cmd_refine(const Args& a, const Specification& spec) {
     EquivalenceOptions eo;
     eo.config.use_lowering = a.use_lowering;
     eo.compare_write_traces = a.protocol == ProtocolStyle::FullHandshake;
+    eo.parallel = true;  // overlap the two runs; the report is unaffected
     EquivalenceReport rep = check_equivalence(spec, r.refined, eo);
     std::fprintf(stderr, "equivalence: %s\n", rep.summary().c_str());
     if (!rep.equivalent) return 1;
@@ -480,9 +519,32 @@ int cmd_refine(const Args& a, const Specification& spec) {
   return write_output(a, a.vhdl ? to_vhdl(r.refined) : print(r.refined));
 }
 
+int cmd_sweep(const Args& a, const Specification& spec) {
+  AccessGraph graph = build_access_graph(spec);
+  Partition part = build_partition(a, spec, graph);
+  auto [local_v, global_v] = part.local_global_counts(graph);
+  std::fprintf(stderr, "partition: %zu local / %zu global variables\n",
+               local_v, global_v);
+  ProfileResult prof = profile_spec(spec);
+
+  batch::SweepOptions so;
+  so.use_lowering = a.use_lowering;
+  so.verify = a.verify;
+  if (a.max_cycles != 0) so.max_cycles = a.max_cycles;
+  if (a.clock_hz > 0.0) so.clock_hz = a.clock_hz;
+
+  const size_t workers =
+      a.jobs == 0 ? batch::ThreadPool::default_workers() : a.jobs;
+  batch::ThreadPool pool(workers);
+  const batch::SweepReport rep = batch::run_sweep(
+      spec, part, graph, prof, batch::full_matrix(), so, pool);
+  return write_output(a, a.json ? rep.json() : rep.table());
+}
+
 // `fuzz` takes no input file, so it parses its own options.
 int cmd_fuzz(int argc, char** argv) {
   fuzz::FuzzOptions opts;
+  std::string json_file;
   for (int i = 2; i < argc; ++i) {
     const std::string f = argv[i];
     auto next = [&]() -> const char* {
@@ -504,6 +566,14 @@ int cmd_fuzz(int argc, char** argv) {
       const char* v = next();
       if (!v) return 2;
       opts.stmt_budget = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (f == "--jobs") {
+      const char* v = next();
+      if (!v) return 2;
+      opts.jobs = static_cast<size_t>(std::strtoul(v, nullptr, 10));
+    } else if (f == "--json") {
+      const char* v = next();
+      if (!v) return 2;
+      json_file = v;
     } else if (f == "--reduce") {
       opts.reduce = true;
     } else if (f == "--out") {
@@ -539,6 +609,15 @@ int cmd_fuzz(int argc, char** argv) {
     return 2;
   }
   const fuzz::FuzzReport report = fuzz::run_fuzz(opts, std::cout);
+  if (!json_file.empty()) {
+    std::ofstream out(json_file, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_file.c_str());
+      return 1;
+    }
+    out << report.json();
+    std::fprintf(stderr, "wrote %s\n", json_file.c_str());
+  }
   if (opts.inject != fuzz::InjectedBug::None &&
       report.injections_applied == 0) {
     std::fprintf(stderr,
@@ -598,6 +677,7 @@ int main(int argc, char** argv) {
       return write_output(a, to_dot(graph));
     }
     if (a.command == "refine") return cmd_refine(a, spec);
+    if (a.command == "sweep") return cmd_sweep(a, spec);
   } catch (const SpecError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
