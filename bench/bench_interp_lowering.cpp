@@ -1,17 +1,25 @@
-// Micro-benchmarks for the lowering pass (sim/program.h): lowered vs legacy
-// interpretation of the same specifications, and the one-time compilation
-// cost the lowered path pays at Simulator construction.
+// Micro-benchmarks for the compiled execution tiers: lowered and bytecode
+// interpretation vs legacy tree-walking of the same specifications, the
+// one-time compilation cost each tier pays at Simulator construction, and
+// the cold-vs-warm price of the persistent on-disk bytecode cache.
 //
-// The two interpreters drive the same frame machine and produce bit-identical
-// SimResults (tests/test_lowering.cpp proves it); this harness quantifies the
-// steady-state win of pre-resolved slots over string-keyed lookups, and keeps
-// the construction overhead honest — lowering must pay for itself even on
-// short runs.
+// All three interpreters drive the same frame machine and produce
+// bit-identical SimResults (tests/test_lowering.cpp proves it); this harness
+// quantifies the steady-state win of pre-resolved slots (lowered) and
+// threaded register bytecode (bytecode) over string-keyed lookups. The
+// execution rows construct one simulator up front and reset()+run() per
+// iteration — the shape a warm sweep fleet runs in — so they price execution
+// alone, while the BM_Construct_* rows price each tier's one-time
+// validation/compile cost and the Disk rows price the persistent cache.
 #include <benchmark/benchmark.h>
+
+#include <filesystem>
 
 #include "bench_json.h"
 #include "obs/bus_trace.h"
 #include "refine/refiner.h"
+#include "sim/disk_cache.h"
+#include "sim/program_cache.h"
 #include "sim/simulator.h"
 #include "workloads/medical.h"
 #include "workloads/synthetic.h"
@@ -53,12 +61,13 @@ const Specification& synthetic_spec() {
 }
 
 void simulate(benchmark::State& state, const Specification& spec,
-              bool use_lowering) {
+              ExecTier tier) {
   SimConfig cfg;
-  cfg.use_lowering = use_lowering;
+  cfg.exec_tier = tier;
+  Simulator sim(spec, cfg);  // validation + compile priced by BM_Construct_*
   uint64_t steps = 0;
   for (auto _ : state) {
-    Simulator sim(spec, cfg);
+    sim.reset();
     SimResult r = sim.run();
     steps = r.steps;
     benchmark::DoNotOptimize(r.final_vars);
@@ -67,25 +76,37 @@ void simulate(benchmark::State& state, const Specification& spec,
 }
 
 void BM_Lowered_Medical(benchmark::State& state) {
-  simulate(state, medical(), true);
+  simulate(state, medical(), ExecTier::Lowered);
 }
 BENCHMARK(BM_Lowered_Medical);
 
+void BM_Bytecode_Medical(benchmark::State& state) {
+  simulate(state, medical(), ExecTier::Bytecode);
+}
+BENCHMARK(BM_Bytecode_Medical);
+
 void BM_Legacy_Medical(benchmark::State& state) {
-  simulate(state, medical(), false);
+  simulate(state, medical(), ExecTier::Tree);
 }
 BENCHMARK(BM_Legacy_Medical);
 
 void BM_Lowered_RefinedMedical(benchmark::State& state) {
   const auto model = static_cast<ImplModel>(state.range(0));
-  simulate(state, refined_medical(model), true);
+  simulate(state, refined_medical(model), ExecTier::Lowered);
   state.SetLabel(to_string(model));
 }
 BENCHMARK(BM_Lowered_RefinedMedical)->DenseRange(0, 3);
 
+void BM_Bytecode_RefinedMedical(benchmark::State& state) {
+  const auto model = static_cast<ImplModel>(state.range(0));
+  simulate(state, refined_medical(model), ExecTier::Bytecode);
+  state.SetLabel(to_string(model));
+}
+BENCHMARK(BM_Bytecode_RefinedMedical)->DenseRange(0, 3);
+
 void BM_Legacy_RefinedMedical(benchmark::State& state) {
   const auto model = static_cast<ImplModel>(state.range(0));
-  simulate(state, refined_medical(model), false);
+  simulate(state, refined_medical(model), ExecTier::Tree);
   state.SetLabel(to_string(model));
 }
 BENCHMARK(BM_Legacy_RefinedMedical)->DenseRange(0, 3);
@@ -98,12 +119,15 @@ void BM_Traced_RefinedMedical(benchmark::State& state) {
   const auto model = static_cast<ImplModel>(state.range(0));
   const Specification& spec = refined_medical(model);
   SimConfig cfg;
+  cfg.exec_tier = ExecTier::Lowered;
+  Simulator sim(spec, cfg);
   uint64_t txns = 0;
   for (auto _ : state) {
     BusTracer tracer(spec);
-    Simulator sim(spec, cfg);
+    sim.reset();
     sim.add_slot_observer(&tracer);
     SimResult r = sim.run();
+    sim.clear_observers();
     txns = tracer.transactions().size();
     benchmark::DoNotOptimize(r.final_vars);
   }
@@ -112,23 +136,51 @@ void BM_Traced_RefinedMedical(benchmark::State& state) {
 }
 BENCHMARK(BM_Traced_RefinedMedical)->DenseRange(0, 3);
 
+// The same price under the bytecode tier: tracing hops the VM to its
+// observed instantiation, and the unobserved bytecode rows must not move.
+void BM_TracedBytecode_RefinedMedical(benchmark::State& state) {
+  const auto model = static_cast<ImplModel>(state.range(0));
+  const Specification& spec = refined_medical(model);
+  SimConfig cfg;
+  cfg.exec_tier = ExecTier::Bytecode;
+  Simulator sim(spec, cfg);
+  uint64_t txns = 0;
+  for (auto _ : state) {
+    BusTracer tracer(spec);
+    sim.reset();
+    sim.add_slot_observer(&tracer);
+    SimResult r = sim.run();
+    sim.clear_observers();
+    txns = tracer.transactions().size();
+    benchmark::DoNotOptimize(r.final_vars);
+  }
+  state.counters["txns"] = static_cast<double>(txns);
+  state.SetLabel(to_string(model));
+}
+BENCHMARK(BM_TracedBytecode_RefinedMedical)->DenseRange(0, 3);
+
 void BM_Lowered_Synthetic(benchmark::State& state) {
-  simulate(state, synthetic_spec(), true);
+  simulate(state, synthetic_spec(), ExecTier::Lowered);
 }
 BENCHMARK(BM_Lowered_Synthetic);
 
+void BM_Bytecode_Synthetic(benchmark::State& state) {
+  simulate(state, synthetic_spec(), ExecTier::Bytecode);
+}
+BENCHMARK(BM_Bytecode_Synthetic);
+
 void BM_Legacy_Synthetic(benchmark::State& state) {
-  simulate(state, synthetic_spec(), false);
+  simulate(state, synthetic_spec(), ExecTier::Tree);
 }
 BENCHMARK(BM_Legacy_Synthetic);
 
-// Construction cost only: validation + table building, plus (lowered) the
-// Specification -> Program compile. This is the fixed price the lowered path
-// pays before the first event fires.
+// Construction cost only: validation + table building, plus (compiled tiers)
+// the Specification -> Program / BytecodeProgram compile. This is the fixed
+// price each tier pays before the first event fires.
 void construct(benchmark::State& state, const Specification& spec,
-               bool use_lowering) {
+               ExecTier tier) {
   SimConfig cfg;
-  cfg.use_lowering = use_lowering;
+  cfg.exec_tier = tier;
   for (auto _ : state) {
     Simulator sim(spec, cfg);
     benchmark::DoNotOptimize(sim);
@@ -137,17 +189,72 @@ void construct(benchmark::State& state, const Specification& spec,
 
 void BM_Construct_Lowered_RefinedMedical(benchmark::State& state) {
   const auto model = static_cast<ImplModel>(state.range(0));
-  construct(state, refined_medical(model), true);
+  construct(state, refined_medical(model), ExecTier::Lowered);
   state.SetLabel(to_string(model));
 }
 BENCHMARK(BM_Construct_Lowered_RefinedMedical)->DenseRange(0, 3);
 
+void BM_Construct_Bytecode_RefinedMedical(benchmark::State& state) {
+  const auto model = static_cast<ImplModel>(state.range(0));
+  construct(state, refined_medical(model), ExecTier::Bytecode);
+  state.SetLabel(to_string(model));
+}
+BENCHMARK(BM_Construct_Bytecode_RefinedMedical)->DenseRange(0, 3);
+
 void BM_Construct_Legacy_RefinedMedical(benchmark::State& state) {
   const auto model = static_cast<ImplModel>(state.range(0));
-  construct(state, refined_medical(model), false);
+  construct(state, refined_medical(model), ExecTier::Tree);
   state.SetLabel(to_string(model));
 }
 BENCHMARK(BM_Construct_Legacy_RefinedMedical)->DenseRange(0, 3);
+
+// Persistent-cache price, cold vs warm: a cold construction compiles the
+// bytecode and publishes the image to disk; a warm one (fresh in-memory L1,
+// populated on-disk L2 — a new process reusing the fleet cache) deserializes
+// the image instead of compiling. The delta is what the second process of a
+// sweep fleet saves per program.
+void construct_with_disk(benchmark::State& state, const Specification& spec,
+                         bool warm) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "specsyn-bench-cache";
+  SimConfig cfg;
+  cfg.exec_tier = ExecTier::Bytecode;
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  DiskProgramCache disk(dir.string());
+  if (warm) {  // populate the image once, outside the timed loop
+    ProgramCache seed_cache;
+    seed_cache.set_disk(&disk);
+    Simulator sim(spec, cfg, &seed_cache);
+  }
+  for (auto _ : state) {
+    if (!warm) {
+      state.PauseTiming();
+      fs::remove_all(dir, ec);
+      state.ResumeTiming();
+    }
+    ProgramCache programs;  // empty L1 every iteration: forces the L2 path
+    programs.set_disk(&disk);
+    Simulator sim(spec, cfg, &programs);
+    benchmark::DoNotOptimize(sim);
+  }
+  fs::remove_all(dir, ec);
+}
+
+void BM_Construct_Bytecode_DiskCold(benchmark::State& state) {
+  const auto model = static_cast<ImplModel>(state.range(0));
+  construct_with_disk(state, refined_medical(model), false);
+  state.SetLabel(to_string(model));
+}
+BENCHMARK(BM_Construct_Bytecode_DiskCold)->DenseRange(0, 3);
+
+void BM_Construct_Bytecode_DiskWarm(benchmark::State& state) {
+  const auto model = static_cast<ImplModel>(state.range(0));
+  construct_with_disk(state, refined_medical(model), true);
+  state.SetLabel(to_string(model));
+}
+BENCHMARK(BM_Construct_Bytecode_DiskWarm)->DenseRange(0, 3);
 
 }  // namespace
 }  // namespace specsyn

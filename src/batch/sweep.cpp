@@ -74,13 +74,13 @@ SweepRow eval_point(const Specification& spec, const Partition& part,
     row.sa_warnings = rep.count(Severity::Warning);
 
     SimConfig sc;
-    sc.use_lowering = opts.use_lowering;
+    sc.exec_tier = opts.exec_tier;
     if (opts.max_cycles != 0) sc.max_cycles = opts.max_cycles;
     sc.clock_hz = opts.clock_hz;
 
     Simulator sim(r.refined, sc, ctx.programs);
     std::unique_ptr<BusTracer> tracer;
-    if (sc.use_lowering) {  // slot-indexed tracing requires lowering
+    if (sc.exec_tier != ExecTier::Tree) {  // slot tracing needs a compiled tier
       tracer = std::make_unique<BusTracer>(r.refined);
       sim.add_slot_observer(tracer.get());
     }

@@ -42,7 +42,7 @@ struct SweepPoint {
 struct SweepOptions {
   double clock_hz = 100e6;
   uint64_t max_cycles = 0;  ///< 0 => SimConfig default
-  bool use_lowering = true;
+  ExecTier exec_tier = default_exec_tier();
   /// Also simulate the *original* spec per point and compare observable
   /// behaviour (sim/equivalence). Roughly doubles the per-point work.
   bool verify = false;

@@ -64,6 +64,14 @@ class ThreadPool {
 
   [[nodiscard]] size_t workers() const { return workers_.size(); }
 
+  /// Attaches a shared on-disk L2 cache beneath every worker's ProgramCache
+  /// (bytecode tier only; nullptr detaches). The pointer must outlive the
+  /// pool. Call between batches, never while one is running.
+  void set_disk_cache(DiskProgramCache* disk);
+
+  /// Aggregated ProgramCache statistics across all workers (L1 + disk L2).
+  [[nodiscard]] ProgramCache::Stats cache_stats() const;
+
   /// Runs fn(job_index, worker_context) for every job in [0, jobs) and
   /// blocks until all complete. Not reentrant. If jobs throw, the exception
   /// thrown by the lowest job index is rethrown after the batch drains (so

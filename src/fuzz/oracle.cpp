@@ -114,14 +114,19 @@ void check_interp_diff(const Specification& spec, const std::string& oracle,
                        OracleOutcome& out, uint64_t max_cycles,
                        ProgramCache* programs) {
   SimConfig lowered;
-  lowered.use_lowering = true;
+  lowered.exec_tier = ExecTier::Lowered;
   lowered.max_cycles = max_cycles;
   SimConfig legacy = lowered;
-  legacy.use_lowering = false;
+  legacy.exec_tier = ExecTier::Tree;
+  SimConfig bytecode = lowered;
+  bytecode.exec_tier = ExecTier::Bytecode;
   const SimResult a = Simulator(spec, lowered, programs).run();
   const SimResult b = Simulator(spec, legacy).run();
+  const SimResult c = Simulator(spec, bytecode, programs).run();
   const std::string diff = diff_sim_results(a, b);
-  if (!diff.empty()) add_issue(out, oracle, diff);
+  if (!diff.empty()) add_issue(out, oracle, "lowered vs tree: " + diff);
+  const std::string bdiff = diff_sim_results(c, a);
+  if (!bdiff.empty()) add_issue(out, oracle, "bytecode vs lowered: " + bdiff);
 }
 
 // -- oracle 3/8: static verifier silence -------------------------------------

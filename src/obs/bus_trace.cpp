@@ -124,12 +124,10 @@ void BusTracer::scan_stmts(const StmtList& stmts, const Specification& spec) {
 void BusTracer::on_bind(const Binding& b) {
   binding_ = b;
   bound_ = true;
-  // Copy the interned behavior names out of the Program: the tracer is
-  // routinely consulted after the Simulator (which owns the Program) is gone.
-  behavior_names_.resize(b.prog->behavior_count());
-  for (uint32_t id = 0; id < b.prog->behavior_count(); ++id) {
-    behavior_names_[id] = b.prog->behavior_name(id);
-  }
+  // Copy the interned behavior names out of the binding: the tracer is
+  // routinely consulted after the Simulator (which owns them) is gone.
+  // b.prog is null under the bytecode tier, so never read through it here.
+  behavior_names_ = *b.behavior_names;
   slot_roles_.assign(b.signals->size(), SlotRole{});
   for (const auto& [name, role] : name_roles_) {
     const size_t slot = b.signals->find(name);

@@ -29,11 +29,9 @@ void TraceExporter::on_bind(const Binding& b) {
   binding_ = b;
   bound_ = true;
   // Snapshot behavior names: export usually happens after the Simulator
-  // (owner of the Program the Binding points into) has been destroyed.
-  behavior_names_.resize(b.prog->behavior_count());
-  for (uint32_t id = 0; id < b.prog->behavior_count(); ++id) {
-    behavior_names_[id] = b.prog->behavior_name(id);
-  }
+  // (their owner) has been destroyed. b.prog is null under the bytecode
+  // tier, so never read through it here.
+  behavior_names_ = *b.behavior_names;
 }
 
 void TraceExporter::on_behavior_start(uint32_t behavior, uint64_t process,

@@ -1,0 +1,148 @@
+#include "sim/disk_cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace specsyn {
+
+namespace {
+
+// File format: fixed little-endian header, then the key, then the payload.
+//   u32 magic, u32 version, u64 key_size, u64 payload_size, u64 payload_fnv
+constexpr uint32_t kFileMagic = 0x43505353;  // "SSPC"
+constexpr uint32_t kFileVersion = 1;
+constexpr size_t kHeaderSize = 4 + 4 + 8 + 8 + 8;
+
+uint64_t fnv1a(const char* data, size_t n) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint32_t read_u32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t read_u64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+DiskProgramCache::DiskProgramCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string DiskProgramCache::key_hash(const std::string& key) {
+  const uint64_t h = fnv1a(key.data(), key.size());
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string DiskProgramCache::load(const std::string& key) {
+  const std::string path = dir_ + "/" + key_hash(key) + ".sbc";
+  std::string file;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      file = std::move(ss).str();
+    }
+  }
+  const auto miss = [this]() -> std::string {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.misses;
+    return {};
+  };
+  if (file.size() < kHeaderSize) return miss();
+  const char* p = file.data();
+  if (read_u32(p) != kFileMagic || read_u32(p + 4) != kFileVersion) {
+    return miss();
+  }
+  const uint64_t key_size = read_u64(p + 8);
+  const uint64_t payload_size = read_u64(p + 16);
+  const uint64_t payload_fnv = read_u64(p + 24);
+  if (key_size != key.size() ||
+      file.size() != kHeaderSize + key_size + payload_size) {
+    return miss();
+  }
+  if (std::memcmp(p + kHeaderSize, key.data(), key.size()) != 0) {
+    return miss();  // filename-hash collision or stale rewrite
+  }
+  std::string payload = file.substr(kHeaderSize + key_size);
+  if (fnv1a(payload.data(), payload.size()) != payload_fnv) return miss();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.hits;
+  return payload;
+}
+
+void DiskProgramCache::store(const std::string& key,
+                             const std::string& payload) {
+  std::string header;
+  header.reserve(kHeaderSize);
+  const auto put_u32 = [&header](uint32_t v) {
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    header.append(buf, 4);
+  };
+  const auto put_u64 = [&header](uint64_t v) {
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    header.append(buf, 8);
+  };
+  put_u32(kFileMagic);
+  put_u32(kFileVersion);
+  put_u64(key.size());
+  put_u64(payload.size());
+  put_u64(fnv1a(payload.data(), payload.size()));
+
+  uint64_t serial;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    serial = tmp_counter_++;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // best effort
+  const std::string stem = dir_ + "/" + key_hash(key);
+  const std::string tmp = stem + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(serial);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out.write(key.data(), static_cast<std::streamsize>(key.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp, stem + ".sbc", ec);  // atomic publish
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.stores;
+}
+
+DiskProgramCache::Stats DiskProgramCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace specsyn

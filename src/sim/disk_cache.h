@@ -1,0 +1,63 @@
+// Content-addressed on-disk cache of serialized bytecode programs — the
+// shared L2 under the per-worker in-memory ProgramCache L1s.
+//
+// Sweep and fuzz workers (and, later, `specsyn serve` processes) often
+// compile the same refined specification in separate processes; this cache
+// lets the whole fleet compile each spec once. Entries are keyed by the same
+// content key the in-memory cache uses (canonical printed spec + the
+// SimConfig fields that matter + the execution tier); the key is hashed to a
+// filename and stored verbatim inside the file, so a filename-hash collision
+// degrades to a miss, never to the wrong program.
+//
+// Durability discipline:
+//   * writes go to a per-process temp file followed by an atomic rename, so
+//     concurrent writers (or a crash mid-write) can never publish a torn
+//     file — readers see the old entry or the new one, nothing in between,
+//   * every load re-validates a version-stamped header, the stored key and
+//     an FNV-1a checksum of the payload; any mismatch (truncation, bit rot,
+//     a stale cache from an older build) is a miss and the caller
+//     recompiles — a corrupted cache directory can cost time, never
+//     correctness. The payload itself is re-validated structurally by
+//     BytecodeProgram::deserialize on top of this.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace specsyn {
+
+class DiskProgramCache {
+ public:
+  /// `dir` is created (recursively) on first store if missing. The directory
+  /// may be shared by any number of processes.
+  explicit DiskProgramCache(std::string dir);
+
+  /// Returns the payload stored under `key`, or an empty string on miss —
+  /// including every corruption/validation failure.
+  [[nodiscard]] std::string load(const std::string& key);
+
+  /// Publishes `payload` under `key` (atomic rename). Failures (unwritable
+  /// directory, full disk) are swallowed: the cache is an accelerator, never
+  /// a correctness dependency.
+  void store(const std::string& key, const std::string& payload);
+
+  struct Stats {
+    uint64_t hits = 0;    // loads that returned a validated payload
+    uint64_t misses = 0;  // absent, unreadable or corrupted entries
+    uint64_t stores = 0;  // successful publishes
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Filename stem (16 hex digits) an entry key maps to; exposed for tests.
+  [[nodiscard]] static std::string key_hash(const std::string& key);
+
+ private:
+  std::string dir_;
+  mutable std::mutex mu_;
+  Stats stats_;
+  uint64_t tmp_counter_ = 0;  // uniquifies temp names within this process
+};
+
+}  // namespace specsyn

@@ -6,15 +6,17 @@
 #include <memory>
 #include <unordered_map>
 
+#include "sim/bytecode.h"
 #include "sim/program.h"
 #include "sim/simulator.h"
 
 namespace specsyn {
 
-/// One activation record of a process's control stack. The legacy and
-/// lowered interpreters drive the same frame machine; a frame belongs to one
-/// of the two worlds and uses either the source-IR fields (stmts/behavior/
-/// locals) or their lowered counterparts (lstmts/lbehavior/dlocals).
+/// One activation record of a process's control stack. All three interpreter
+/// tiers drive the same frame machine; a frame belongs to one of the worlds
+/// and uses the source-IR fields (stmts/behavior/locals), their lowered
+/// counterparts (lstmts/lbehavior/dlocals), or the bytecode fields
+/// (bbehavior/bproc/bsite; a Code frame's `idx` is its program counter).
 struct Simulator::Frame {
   enum class Kind : uint8_t {
     Block,     // executing a statement list (leaf body, branch, loop body…)
@@ -22,6 +24,7 @@ struct Simulator::Frame {
     Conc,      // joining a Concurrent composite's forked children
     Call,      // a procedure activation (locals live here)
     Behavior,  // entering/leaving one behavior (profiling events fire here)
+    Code,      // bytecode tier: executing a flat code unit; idx = pc
   };
 
   Kind kind;
@@ -36,6 +39,7 @@ struct Simulator::Frame {
   // Seq / Behavior / Conc
   const Behavior* behavior = nullptr;
   const LBehavior* lbehavior = nullptr;
+  const BBehavior* bbehavior = nullptr;  // bytecode tier
   bool started = false;
   size_t child = 0;     // Seq: index of the currently running child
   int remaining = 0;    // Conc: children still running
@@ -52,7 +56,11 @@ struct Simulator::Frame {
   // Call (lowered): dense activation record.
   const LProc* lproc = nullptr;
   const LStmt* lcall_site = nullptr;  // lowered out-binds live at the site
-  std::vector<uint64_t> dlocals;      // dense params + locals
+  std::vector<uint64_t> dlocals;      // dense params + locals (also bytecode)
+  // Call (bytecode)
+  const BProc* bproc = nullptr;
+  const BCallSite* bsite = nullptr;
+  uint32_t prev_call = 0;  // caller's Process::call_idx, restored on pop
 };
 
 struct Simulator::Process {
@@ -60,6 +68,12 @@ struct Simulator::Process {
   enum class Status : uint8_t { Ready, Blocked, Done } status = Status::Ready;
   std::vector<Frame> stack;
   const Expr* wait_cond = nullptr;  // set while blocked on a `wait`
+  const BWaitSite* bwait = nullptr;  // bytecode tier's blocked-wait marker
+  // 1-based index into `stack` of the innermost Call frame; 0 = none.
+  // Maintained by the bytecode tier (Call push / leave_frame pop) so local
+  // accesses are one array index instead of a stack walk; the other tiers
+  // leave it at 0 and keep walking.
+  uint32_t call_idx = 0;
   uint64_t wait_epoch = 0;          // invalidates stale waiter-list entries
   Process* parent = nullptr;        // forking process (Conc), or null
   std::vector<const Behavior*> behavior_stack;  // innermost = attribution

@@ -105,7 +105,12 @@ void Simulator::enter_behavior(const Behavior& b, Process& p) {
 }
 
 // Pops the top frame and hands control back to the caller's bookkeeping.
-void Simulator::leave_frame(Process& p) { p.stack.pop_back(); }
+void Simulator::leave_frame(Process& p) {
+  // Popping the innermost Call frame restores the bytecode tier's O(1)
+  // call-frame index; a no-op for the other tiers, which keep call_idx == 0.
+  if (p.call_idx == p.stack.size()) p.call_idx = p.stack.back().prev_call;
+  p.stack.pop_back();
+}
 
 // The completing child of a Seq frame selects the next child via the
 // composite's transition arcs; with no matching arc, control falls through
@@ -176,7 +181,7 @@ void Simulator::step(Process& p) {
             p.stack.push_back(std::move(join));
             p.status = Process::Status::Blocked;  // until children join
             for (const auto& c : b.children) {
-              Process& cp = spawn(c.get(), nullptr, &p);
+              Process& cp = spawn(c.get(), nullptr, nullptr, &p);
               enqueue(cp, now_ + cfg_.stmt_cost);
             }
             break;
@@ -255,6 +260,8 @@ void Simulator::step(Process& p) {
       enqueue(p, now_ + cfg_.stmt_cost);
       break;
     }
+    case Frame::Kind::Code:
+      throw SpecError("internal: bytecode frame in the tree interpreter");
   }
 }
 

@@ -13,9 +13,9 @@ namespace specsyn {
 // slot-observer events. Observed path only; walks the (shallow) frame stack.
 uint32_t Simulator::innermost_behavior_id(const Process& p) {
   for (auto it = p.stack.rbegin(); it != p.stack.rend(); ++it) {
-    if (it->kind == Frame::Kind::Behavior && it->lbehavior != nullptr) {
-      return it->lbehavior->id;
-    }
+    if (it->kind != Frame::Kind::Behavior) continue;
+    if (it->lbehavior != nullptr) return it->lbehavior->id;
+    if (it->bbehavior != nullptr) return it->bbehavior->id;  // bytecode tier
   }
   return UINT32_MAX;
 }
@@ -174,7 +174,7 @@ void Simulator::lstep(Process& p) {
             p.stack.push_back(std::move(join));
             p.status = Process::Status::Blocked;  // until children join
             for (const LBehavior* c : b.children) {
-              Process& cp = spawn(c->src, c, &p);
+              Process& cp = spawn(c->src, c, nullptr, &p);
               enqueue(cp, now_ + cfg_.stmt_cost);
             }
             break;
@@ -255,6 +255,8 @@ void Simulator::lstep(Process& p) {
       enqueue(p, now_ + cfg_.stmt_cost);
       break;
     }
+    case Frame::Kind::Code:
+      throw SpecError("internal: bytecode frame in the lowered interpreter");
   }
 }
 

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "printer/printer.h"
+#include "sim/bytecode.h"
+#include "sim/disk_cache.h"
 #include "sim/program.h"
 
 namespace specsyn {
@@ -10,16 +12,19 @@ namespace specsyn {
 namespace {
 
 // The cache key is the canonical printed spec plus every SimConfig field
-// that could influence lowering or execution-plan reuse. stmt_cost and
-// signal_delay do not affect compilation today, but folding them in makes
-// "invalidate on SimConfig changes" hold by construction rather than by
-// auditing the compiler.
+// that could influence lowering or execution-plan reuse, plus the execution
+// tier (a lowered Program and a BytecodeProgram must never alias one entry).
+// stmt_cost and signal_delay do not affect compilation today, but folding
+// them in makes "invalidate on SimConfig changes" hold by construction
+// rather than by auditing the compiler.
 std::string make_key(const Specification& spec, const SimConfig& cfg) {
   std::string key = print(spec);
   key += '\x01';
   key += std::to_string(cfg.stmt_cost);
   key += ',';
   key += std::to_string(cfg.signal_delay);
+  key += ',';
+  key += exec_tier_name(cfg.exec_tier);
   return key;
 }
 
@@ -28,9 +33,15 @@ std::string make_key(const Specification& spec, const SimConfig& cfg) {
 ProgramCache::ProgramCache(size_t capacity)
     : capacity_(capacity > 0 ? capacity : 1) {}
 
+void ProgramCache::set_disk(DiskProgramCache* disk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  disk_ = disk;
+}
+
 std::shared_ptr<const CachedProgram> ProgramCache::get(
     const Specification& spec, const SimConfig& cfg) {
   std::string key = make_key(spec, cfg);
+  DiskProgramCache* disk = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
@@ -39,10 +50,13 @@ std::shared_ptr<const CachedProgram> ProgramCache::get(
       ++stats_.hits;
       return it->second->cached;
     }
+    disk = disk_;
   }
 
-  // Miss: compile outside the lock (compilation is the expensive part; a
-  // concurrent miss on the same key just compiles twice and one entry wins).
+  // Miss: compile (or load) outside the lock — that is the expensive part;
+  // a concurrent miss on the same key just compiles twice and one entry
+  // wins. The entry owns a clone of the spec so cached plans never point
+  // into a caller's (possibly shorter-lived) Specification.
   auto cached = std::make_shared<CachedProgram>();
   auto clone = std::make_shared<Specification>(spec.clone());
   VarTable vars;
@@ -51,10 +65,39 @@ std::shared_ptr<const CachedProgram> ProgramCache::get(
   for (const SignalDecl* s : clone->all_signals()) {
     signals.add(s->name, s->type, s->init);
   }
-  cached->program = Program::compile(*clone, vars, signals);
+
+  bool disk_hit = false;
+  bool disk_stored = false;
+  if (cfg.exec_tier == ExecTier::Bytecode) {
+    if (disk != nullptr) {
+      const std::string image = disk->load(key);
+      if (!image.empty()) {
+        cached->bytecode = BytecodeProgram::deserialize(
+            image, *clone, vars.size(), signals.size());
+        disk_hit = cached->bytecode != nullptr;
+      }
+    }
+    if (!cached->bytecode) {
+      cached->bytecode = BytecodeProgram::compile(*clone, vars, signals);
+      if (disk != nullptr) {
+        disk->store(key, cached->bytecode->serialize());
+        disk_stored = true;
+      }
+    }
+  } else {
+    cached->program = Program::compile(*clone, vars, signals);
+  }
   cached->source = std::move(clone);
 
   std::lock_guard<std::mutex> lock(mu_);
+  if (cfg.exec_tier == ExecTier::Bytecode && disk != nullptr) {
+    if (disk_hit) {
+      ++stats_.disk_hits;
+    } else {
+      ++stats_.disk_misses;
+    }
+    if (disk_stored) ++stats_.disk_stores;
+  }
   auto it = index_.find(key);
   if (it != index_.end()) {  // racing thread inserted first; reuse its entry
     lru_.splice(lru_.begin(), lru_, it->second);

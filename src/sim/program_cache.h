@@ -33,12 +33,18 @@
 
 namespace specsyn {
 
-/// A compiled Program together with the spec clone it points into. Holders
-/// keep the shared_ptr for as long as they use the Program (the Simulator
-/// does this automatically).
+class BytecodeProgram;
+class DiskProgramCache;
+
+/// A compiled execution plan together with the spec clone it points into.
+/// Exactly one of `program` (lowered tier) / `bytecode` (bytecode tier) is
+/// set, per the SimConfig the entry was fetched under. Holders keep the
+/// shared_ptr for as long as they use the plan (the Simulator does this
+/// automatically).
 struct CachedProgram {
   std::shared_ptr<const Specification> source;
   std::shared_ptr<const Program> program;
+  std::shared_ptr<const BytecodeProgram> bytecode;
 };
 
 class ProgramCache {
@@ -46,15 +52,26 @@ class ProgramCache {
   /// `capacity` bounds the number of retained programs (LRU eviction).
   explicit ProgramCache(size_t capacity = 16);
 
-  /// Returns the lowered program for a spec with this content under `cfg`,
-  /// compiling on miss. `spec` must be valid (validate_or_throw).
+  /// Returns the compiled plan (per cfg.exec_tier) for a spec with this
+  /// content under `cfg`, compiling on miss. `spec` must be valid
+  /// (validate_or_throw).
   [[nodiscard]] std::shared_ptr<const CachedProgram> get(
       const Specification& spec, const SimConfig& cfg);
+
+  /// Attaches a shared on-disk L2 (sim/disk_cache.h); not owned, may be
+  /// null, must outlive the cache. Bytecode-tier misses then try the disk
+  /// image before compiling, and publish freshly compiled programs back.
+  /// (The lowered tier never touches the disk: a Program holds src pointers
+  /// into its spec clone and is not serializable.)
+  void set_disk(DiskProgramCache* disk);
 
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    uint64_t disk_hits = 0;    // misses served by a deserialized disk image
+    uint64_t disk_misses = 0;  // misses that fell through to a compile
+    uint64_t disk_stores = 0;  // compiled programs published to disk
   };
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] size_t size() const;
@@ -69,6 +86,7 @@ class ProgramCache {
 
   mutable std::mutex mu_;
   size_t capacity_;
+  DiskProgramCache* disk_ = nullptr;  // shared L2, borrowed
   /// Most-recently-used first; index_ points into this list.
   std::list<Entry> lru_;
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;

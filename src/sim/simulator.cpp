@@ -3,13 +3,54 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "printer/printer.h"
+#include "sim/bytecode.h"
 #include "sim/frames.h"
 #include "sim/program.h"
 #include "sim/program_cache.h"
 
 namespace specsyn {
+
+bool parse_exec_tier(const std::string& name, ExecTier* out) {
+  if (name == "tree") {
+    *out = ExecTier::Tree;
+  } else if (name == "lowered") {
+    *out = ExecTier::Lowered;
+  } else if (name == "bytecode") {
+    *out = ExecTier::Bytecode;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* exec_tier_name(ExecTier tier) {
+  switch (tier) {
+    case ExecTier::Tree:
+      return "tree";
+    case ExecTier::Lowered:
+      return "lowered";
+    case ExecTier::Bytecode:
+      return "bytecode";
+  }
+  return "?";
+}
+
+ExecTier default_exec_tier() {
+  static const ExecTier tier = [] {
+    ExecTier t = ExecTier::Lowered;
+    if (const char* env = std::getenv("SPECSYN_EXEC_TIER")) {
+      if (*env != '\0' && !parse_exec_tier(env, &t)) {
+        throw SpecError(std::string("SPECSYN_EXEC_TIER: unknown tier '") +
+                        env + "' (expected tree, lowered or bytecode)");
+      }
+    }
+    return t;
+  }();
+  return tier;
+}
 
 namespace {
 
@@ -31,7 +72,7 @@ Simulator::Simulator(const Specification& spec, SimConfig cfg,
     : spec_(spec), cfg_(cfg) {
   validate_or_throw(spec_);
   build_tables();
-  if (cfg_.use_lowering) {
+  if (cfg_.exec_tier == ExecTier::Lowered) {
     if (programs != nullptr) {
       cached_ = programs->get(spec_, cfg_);
       prog_ = cached_->program;
@@ -41,6 +82,25 @@ Simulator::Simulator(const Specification& spec, SimConfig cfg,
     ops_base_ = prog_->ops().data();
     eval_stack_.assign(std::max<uint32_t>(1, prog_->max_eval_stack()), 0);
     completions_.assign(prog_->behavior_count(), 0);
+  } else if (cfg_.exec_tier == ExecTier::Bytecode) {
+    if (programs != nullptr) {
+      cached_ = programs->get(spec_, cfg_);
+      bprog_ = cached_->bytecode;
+    } else {
+      bprog_ = BytecodeProgram::compile(spec_, vars_, signals_);
+    }
+    bcode_ = bprog_->code().data();
+    regs_.assign(kMaxRegs, 0);
+    staging_.assign(std::max<uint32_t>(1, bprog_->max_proc_locals()), 0);
+    // The eval stack backs only the EvalSpill fallback in this tier.
+    eval_stack_.assign(std::max<uint32_t>(1, bprog_->max_spill_stack()), 0);
+    completions_.assign(bprog_->behavior_count(), 0);
+    fast_sched_ = true;
+    chain_ok_ = (cfg_.stmt_cost == 1);
+    for (FastBucket& b : fast_buckets_) {
+      b.runs.reserve(64);
+      b.sigs.reserve(64);
+    }
   }
   run_q_ = make_queue<RunEvent>(1024);
   sig_q_ = make_queue<SignalEvent>(1024);
@@ -56,6 +116,10 @@ void Simulator::reset() {
   processes_.clear();
   run_q_ = make_queue<RunEvent>(1024);
   sig_q_ = make_queue<SignalEvent>(1024);
+  for (FastBucket& b : fast_buckets_) b.clear();
+  fb_cur_ = &fast_buckets_[0];
+  fb_next_ = &fast_buckets_[1];
+  fb_run_next_ = 0;
   for (auto& w : waiters_) w.clear();
   raw_writes_.clear();
   behavior_completions_.clear();
@@ -69,11 +133,16 @@ void Simulator::reset() {
 
 void Simulator::add_observer(SimObserver* obs) { observers_.push_back(obs); }
 
+void Simulator::clear_observers() {
+  observers_.clear();
+  slot_observers_.clear();
+}
+
 void Simulator::add_slot_observer(SlotObserver* obs) {
-  if (!prog_) {
+  if (!prog_ && !bprog_) {
     throw SpecError(
-        "add_slot_observer: slot-indexed observation requires the lowered "
-        "interpreter (SimConfig::use_lowering)");
+        "add_slot_observer: slot-indexed observation requires a compiled "
+        "execution tier (SimConfig::exec_tier lowered or bytecode)");
   }
   slot_observers_.push_back(obs);
 }
@@ -91,7 +160,7 @@ void Simulator::build_tables() {
 }
 
 Simulator::Process& Simulator::spawn(const Behavior* b, const LBehavior* lb,
-                                     Process* parent) {
+                                     const BBehavior* bb, Process* parent) {
   auto p = std::make_unique<Process>();
   p->id = processes_.size();
   p->parent = parent;
@@ -100,6 +169,7 @@ Simulator::Process& Simulator::spawn(const Behavior* b, const LBehavior* lb,
   f.kind = Frame::Kind::Behavior;
   f.behavior = b;
   f.lbehavior = lb;
+  f.bbehavior = bb;
   p->stack.push_back(std::move(f));
   processes_.push_back(std::move(p));
   return *processes_.back();
@@ -107,25 +177,65 @@ Simulator::Process& Simulator::spawn(const Behavior* b, const LBehavior* lb,
 
 void Simulator::enqueue(Process& p, uint64_t time) {
   p.status = Process::Status::Ready;
+  if (fast_sched_) {
+    if (time == now_) {
+      fb_cur_->runs.push_back(&p);
+      return;
+    }
+    if (time == now_ + 1) {
+      fb_next_->runs.push_back(&p);
+      return;
+    }
+  }
   run_q_.push({time, seq_counter_++, &p});
 }
 
 void Simulator::schedule_signal(size_t idx, uint64_t value, uint64_t time) {
+  if (fast_sched_) {
+    if (time == now_) {
+      fb_cur_->sigs.push_back({static_cast<uint32_t>(idx), value});
+      return;
+    }
+    if (time == now_ + 1) {
+      fb_next_->sigs.push_back({static_cast<uint32_t>(idx), value});
+      return;
+    }
+  }
   sig_q_.push({time, seq_counter_++, idx, value});
 }
 
 void Simulator::wake_sensitive(size_t signal_idx, uint64_t time) {
   // Every current entry is either woken now or stale; either way the list
-  // empties (woken processes re-register if they block again).
-  std::vector<Process*> entries = std::move(waiters_[signal_idx]);
-  waiters_[signal_idx].clear();
-  for (Process* p : entries) {
-    if (p->status == Process::Status::Blocked && p->wait_cond != nullptr) {
-      p->wait_cond = nullptr;  // will re-block (and re-register) if still false
+  // empties. Woken processes re-register only when they next step and
+  // re-block — never during this loop — so iterating in place is safe and
+  // keeps the vector's capacity instead of moving it off to a temporary.
+  std::vector<Process*>& entries = waiters_[signal_idx];
+  for (size_t i = 0; i < entries.size(); ++i) {
+    Process* p = entries[i];
+    if (p->status == Process::Status::Blocked &&
+        (p->wait_cond != nullptr || p->bwait != nullptr)) {
+      // Will re-block (and re-register) if the condition is still false.
+      p->wait_cond = nullptr;
+      p->bwait = nullptr;
       ++p->wait_epoch;
       enqueue(*p, time);
     }
   }
+  entries.clear();
+}
+
+void Simulator::commit_signal(size_t signal, uint64_t value, bool observed) {
+  if (!signals_.commit(signal, value)) return;
+  if (observed) {
+    for (SimObserver* o : observers_) {
+      o->on_signal_change(signals_.name_of(signal), now_, signals_.get(signal));
+    }
+    for (SlotObserver* o : slot_observers_) {
+      o->on_signal_commit(static_cast<uint32_t>(signal), now_,
+                          signals_.get(signal));
+    }
+  }
+  wake_sensitive(signal, now_);
 }
 
 void Simulator::finish_process(Process& p, uint64_t time) {
@@ -147,66 +257,75 @@ SimResult Simulator::run() {
 
   SimResult result;
   if (!slot_observers_.empty()) {
-    const SlotObserver::Binding binding{&vars_, &signals_, prog_.get(), &cfg_};
+    // Materialize the id-indexed behavior names once; valid for the run.
+    bound_names_.clear();
+    if (prog_) {
+      bound_names_.reserve(prog_->behavior_count());
+      for (uint32_t id = 0; id < prog_->behavior_count(); ++id) {
+        bound_names_.push_back(prog_->behavior_name(id));
+      }
+    } else if (bprog_) {
+      bound_names_ = bprog_->behavior_names();
+    }
+    const SlotObserver::Binding binding{&vars_, &signals_, prog_.get(),
+                                        &bound_names_, &cfg_};
     for (SlotObserver* o : slot_observers_) o->on_bind(binding);
   }
   if (spec_.top) {
-    root_ = &spawn(spec_.top.get(), prog_ ? prog_->root() : nullptr, nullptr);
+    root_ = &spawn(spec_.top.get(), prog_ ? prog_->root() : nullptr,
+                   bprog_ ? bprog_->root() : nullptr, nullptr);
     enqueue(*root_, 0);
   }
 
-  // Pick the stepping variant once: lowered vs legacy, and (for the lowered
-  // path) observed vs unobserved, so the steady state never re-tests either.
+  // Pick the stepping variant once — tier, and (for the compiled tiers)
+  // observed vs unobserved — so the steady state never re-tests either.
   const bool observed = !observers_.empty() || !slot_observers_.empty();
   void (Simulator::*step_fn)(Process&) =
-      prog_ ? (observed ? &Simulator::lstep<true> : &Simulator::lstep<false>)
-            : &Simulator::step;
+      prog_    ? (observed ? &Simulator::lstep<true> : &Simulator::lstep<false>)
+      : bprog_ ? (observed ? &Simulator::bstep<true> : &Simulator::bstep<false>)
+               : &Simulator::step;
 
-  while (!run_q_.empty() || !sig_q_.empty()) {
-    uint64_t t = UINT64_MAX;
-    if (!run_q_.empty()) t = run_q_.top().time;
-    if (!sig_q_.empty()) t = std::min(t, sig_q_.top().time);
-    now_ = t;
-    if (now_ > cfg_.max_cycles) {
-      result.status = SimResult::Status::MaxCycles;
-      break;
+  if (fast_sched_) {
+    if (observed) {
+      run_fast_loop<true>(result);
+    } else {
+      run_fast_loop<false>(result);
     }
+  } else {
+    while (!run_q_.empty() || !sig_q_.empty()) {
+      uint64_t t = UINT64_MAX;
+      if (!run_q_.empty()) t = run_q_.top().time;
+      if (!sig_q_.empty()) t = std::min(t, sig_q_.top().time);
+      now_ = t;
+      if (now_ > cfg_.max_cycles) {
+        result.status = SimResult::Status::MaxCycles;
+        break;
+      }
 
-    // Commit signal updates scheduled for this instant first, in issue order,
-    // so that woken processes see a consistent snapshot when they step at t.
-    while (!sig_q_.empty() && sig_q_.top().time == now_) {
-      const SignalEvent ev = sig_q_.top();
-      sig_q_.pop();
-      if (signals_.commit(ev.signal, ev.value)) {
-        if (observed) {
-          for (SimObserver* o : observers_) {
-            o->on_signal_change(signals_.name_of(ev.signal), now_,
-                                signals_.get(ev.signal));
-          }
-          for (SlotObserver* o : slot_observers_) {
-            o->on_signal_commit(static_cast<uint32_t>(ev.signal), now_,
-                                signals_.get(ev.signal));
-          }
+      // Commit signal updates scheduled for this instant first, in issue
+      // order, so woken processes see a consistent snapshot when they step.
+      while (!sig_q_.empty() && sig_q_.top().time == now_) {
+        const SignalEvent ev = sig_q_.top();
+        sig_q_.pop();
+        commit_signal(ev.signal, ev.value, observed);
+      }
+
+      // Then run every process step scheduled at exactly t (steps may
+      // enqueue further work at t, which this loop also drains).
+      while (!run_q_.empty() && run_q_.top().time == now_) {
+        Process* p = run_q_.top().proc;
+        run_q_.pop();
+        if (p->status != Process::Status::Ready) {
+          throw SpecError("internal: non-ready process in run queue");
         }
-        wake_sensitive(ev.signal, now_);
+        (this->*step_fn)(*p);
+        ++steps_;
+        if (steps_ > cfg_.max_cycles) break;
       }
-    }
-
-    // Then run every process step scheduled at exactly t (steps may enqueue
-    // further work at t, which this loop also drains).
-    while (!run_q_.empty() && run_q_.top().time == now_) {
-      Process* p = run_q_.top().proc;
-      run_q_.pop();
-      if (p->status != Process::Status::Ready) {
-        throw SpecError("internal: non-ready process in run queue");
+      if (steps_ > cfg_.max_cycles) {
+        result.status = SimResult::Status::MaxCycles;
+        break;
       }
-      (this->*step_fn)(*p);
-      ++steps_;
-      if (steps_ > cfg_.max_cycles) break;
-    }
-    if (steps_ > cfg_.max_cycles) {
-      result.status = SimResult::Status::MaxCycles;
-      break;
     }
   }
 
@@ -222,7 +341,9 @@ SimResult Simulator::run() {
     info.process_id = p->id;
     info.behavior =
         p->behavior_stack.empty() ? "<none>" : p->behavior_stack.back()->name;
-    info.waiting_on = p->wait_cond != nullptr ? print(*p->wait_cond) : "<join>";
+    info.waiting_on = p->wait_cond != nullptr ? print(*p->wait_cond)
+                      : p->bwait != nullptr   ? p->bwait->cond_str
+                                              : "<join>";
     result.blocked.push_back(std::move(info));
   }
   for (size_t i = 0; i < vars_.size(); ++i) {
@@ -232,14 +353,17 @@ SimResult Simulator::run() {
   for (const RawWrite& w : raw_writes_) {
     result.observable_writes.push_back({vars_.name_of(w.var), w.value, w.time});
   }
-  if (prog_) {
-    // Lowered runs count completions per interned behavior id; materialize
+  if (prog_ || bprog_) {
+    // Compiled runs count completions per interned behavior id; materialize
     // the name-keyed map (ids with zero completions have no entry, matching
     // the legacy map's insert-on-first-completion behavior).
-    for (uint32_t id = 0; id < prog_->behavior_count(); ++id) {
+    const uint32_t n =
+        prog_ ? prog_->behavior_count() : bprog_->behavior_count();
+    for (uint32_t id = 0; id < n; ++id) {
       if (completions_[id] != 0) {
-        result.behavior_completions.emplace(prog_->behavior_name(id),
-                                            completions_[id]);
+        result.behavior_completions.emplace(
+            prog_ ? prog_->behavior_name(id) : bprog_->behavior_name(id),
+            completions_[id]);
       }
     }
   } else {

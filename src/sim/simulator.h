@@ -35,6 +35,28 @@
 
 namespace specsyn {
 
+/// Which interpreter executes the specification. All tiers are bit-identical
+/// in SimResult and observer streams; they differ only in per-step cost.
+enum class ExecTier : uint8_t {
+  Tree,      // legacy tree-walking interpreter (semantic reference)
+  Lowered,   // slot-indexed Program + frame machine (sim/program.h)
+  Bytecode,  // flat threaded-code bytecode (sim/bytecode.h)
+};
+
+/// Parses an exec-tier name ("tree", "lowered", "bytecode"); returns false on
+/// anything else.
+bool parse_exec_tier(const std::string& name, ExecTier* out);
+
+/// Spelling of a tier, inverse of parse_exec_tier.
+const char* exec_tier_name(ExecTier tier);
+
+/// The default SimConfig::exec_tier: ExecTier::Lowered, overridable by the
+/// SPECSYN_EXEC_TIER environment variable (read once per process). The env
+/// var moves the *default* only — code that assigns exec_tier explicitly is
+/// unaffected, which lets CI force a tier across a whole test binary without
+/// touching tests that pin a tier on purpose.
+ExecTier default_exec_tier();
+
 struct SimConfig {
   /// Cycles consumed by one executed statement.
   uint64_t stmt_cost = 1;
@@ -44,11 +66,11 @@ struct SimConfig {
   uint64_t max_cycles = 50'000'000;
   /// Clock frequency used when converting cycles to seconds in reports.
   double clock_hz = 100e6;
-  /// Compile the spec into a slot-indexed execution plan (sim/program.h) and
-  /// run the lowered interpreter. Off = the legacy string-resolving
-  /// interpreter; results are bit-identical either way (the legacy path is
-  /// kept as the semantic reference, reachable via `specsyn --no-lowering`).
-  bool use_lowering = true;
+  /// Which interpreter runs the spec. Results are bit-identical across all
+  /// tiers; the tree tier is kept as the semantic reference (reachable via
+  /// `specsyn --exec-tier tree`). Defaults to Lowered unless the
+  /// SPECSYN_EXEC_TIER environment variable overrides it.
+  ExecTier exec_tier = default_exec_tier();
 };
 
 /// Observation callbacks. All strings are the spec-unique object names.
@@ -85,20 +107,24 @@ class Program;
 /// from both interpreters), a SlotObserver receives dense slot indices and
 /// interned behavior ids and resolves them against the simulator's tables
 /// exactly once, in on_bind — names are materialized only when a report or
-/// trace is exported. Slot callbacks are fired by the *lowered* interpreter
-/// (and the kernel's signal-commit loop), so attaching one requires
-/// `SimConfig::use_lowering`; add_slot_observer throws otherwise. Attaching
-/// any observer of either kind selects the observed stepping variant for the
-/// whole run — an unobserved run still contains no observer dispatch at all.
+/// trace is exported. Slot callbacks are fired by the lowered and bytecode
+/// interpreters (and the kernel's signal-commit loop), so attaching one
+/// requires a slot-indexed tier; add_slot_observer throws under
+/// ExecTier::Tree. Attaching any observer of either kind selects the observed
+/// stepping variant for the whole run — an unobserved run still contains no
+/// observer dispatch at all.
 class SlotObserver {
  public:
   virtual ~SlotObserver() = default;
 
-  /// Slot/id authorities, valid for the whole run. `prog` is never null.
+  /// Slot/id authorities, valid for the whole run. `behavior_names` is never
+  /// null and is indexed by interned behavior id; `prog` is the lowered plan
+  /// when one exists and null under the bytecode tier.
   struct Binding {
     const VarTable* vars = nullptr;
     const SignalTable* signals = nullptr;
     const Program* prog = nullptr;
+    const std::vector<std::string>* behavior_names = nullptr;
     const SimConfig* cfg = nullptr;
   };
 
@@ -185,15 +211,21 @@ struct LExpr;
 struct LOp;
 struct LTarget;
 
+class BytecodeProgram;
+struct BInstr;
+struct BBehavior;
+struct BWaitSite;
+struct BTarget;
+
 class ProgramCache;
 struct CachedProgram;
 
 class Simulator {
  public:
   /// `spec` must outlive the simulator and be valid (validate_or_throw).
-  /// When `programs` is non-null (and lowering is on), the compiled Program
-  /// is fetched from / inserted into that cache instead of compiled fresh —
-  /// the cache entry is pinned for the simulator's lifetime.
+  /// When `programs` is non-null (and a compiled tier is selected), the
+  /// compiled plan is fetched from / inserted into that cache instead of
+  /// compiled fresh — the cache entry is pinned for the simulator's lifetime.
   explicit Simulator(const Specification& spec, SimConfig cfg = {},
                      ProgramCache* programs = nullptr);
 
@@ -204,9 +236,14 @@ class Simulator {
   /// Observers are borrowed; they must outlive run().
   void add_observer(SimObserver* obs);
 
-  /// Slot-indexed observers (src/obs/). Requires the lowered path — throws
-  /// SpecError when the simulator was built with use_lowering off.
+  /// Slot-indexed observers (src/obs/). Requires a slot-indexed tier —
+  /// throws SpecError when the simulator was built with ExecTier::Tree.
   void add_slot_observer(SlotObserver* obs);
+
+  /// Detaches every registered observer (both kinds). Pooled simulators that
+  /// reset() between runs use this to attach a fresh per-run observer
+  /// without accumulating dangling pointers to destroyed ones.
+  void clear_observers();
 
   /// Runs to quiescence (or max_cycles). May be called once per run; call
   /// reset() to run the same spec again on the same simulator.
@@ -226,11 +263,18 @@ class Simulator {
 
   // kernel (simulator.cpp)
   void build_tables();
-  Process& spawn(const Behavior* b, const LBehavior* lb, Process* parent);
+  Process& spawn(const Behavior* b, const LBehavior* lb, const BBehavior* bb,
+                 Process* parent);
   void enqueue(Process& p, uint64_t time);
   void schedule_signal(size_t idx, uint64_t value, uint64_t time);
   void wake_sensitive(size_t signal_idx, uint64_t time);
   void finish_process(Process& p, uint64_t time);
+  /// Commits one scheduled signal update at now_: observers + waiter wakes.
+  void commit_signal(size_t signal, uint64_t value, bool observed);
+  /// run()'s event loop on the bucket scheduler (bytecode tier only). Lives
+  /// in interp_bytecode.cpp so bstep<Obs> inlines into the loop body — the
+  /// whole hot path (event loop, frame dispatch, VM) is one translation unit.
+  template <bool Obs> void run_fast_loop(SimResult& result);
 
   // legacy interpreter (interp.cpp): resolves names at execution time
   void step(Process& p);
@@ -256,6 +300,30 @@ class Simulator {
   Frame& innermost_call(Process& p);
   static uint32_t innermost_behavior_id(const Process& p);
 
+  // bytecode interpreter (interp_bytecode.cpp): runs the flat BytecodeProgram
+  // with the same frame machine (only Behavior/Seq/Conc/Call/Code frames).
+  // bexec/bseq_advance return true when the step was charged inline by
+  // chain_advance and the caller must re-dispatch on the new top frame.
+  template <bool Obs> void bstep(Process& p);
+  template <bool Obs> bool bexec(Process& p);
+  template <bool Obs> uint64_t beval_guard(uint32_t pc, Process& p);
+  template <bool Obs> uint64_t beval_spill(const BInstr& ins, Process& p);
+  template <bool Obs> bool bseq_advance(Process& p);
+  /// Statement chaining (see interp_bytecode.cpp): proves the stepping
+  /// process is the only pending work at now_ + 1, advances now_/steps_
+  /// inline (retiring a pending commit instant if one is due), and returns
+  /// true so the VM keeps executing without a scheduler round-trip.
+  template <bool Obs> bool chain_advance();
+  /// Re-arms p for its next step at now_ + stmt_cost; under chain_ok_ this is
+  /// a direct fb_next_ push with no enqueue call.
+  void rearm_step(Process& p);
+  /// O(1) innermost-call lookup off Process::call_idx (bytecode tier).
+  Frame& bcall_frame(Process& p);
+  template <bool Obs> void bwrite_var(uint32_t slot, uint64_t value,
+                                      Process& p);
+  void benter_behavior(const BBehavior& b, Process& p);
+  void bblock_on(Process& p, const BWaitSite& site);
+
   const std::string& current_behavior(const Process& p) const;
 
   const Specification& spec_;
@@ -266,7 +334,7 @@ class Simulator {
   VarTable vars_;
   SignalTable signals_;
 
-  /// Compiled execution plan (null when cfg_.use_lowering is off). Shared:
+  /// Compiled execution plan (null unless exec_tier == Lowered). Shared:
   /// either owned solely by this simulator or pinned in a ProgramCache.
   std::shared_ptr<const Program> prog_;
   /// Cache entry anchor: keeps the spec clone a cached prog_ points into
@@ -274,11 +342,21 @@ class Simulator {
   std::shared_ptr<const CachedProgram> cached_;
   /// Base of prog_'s pooled postfix ops (cached; LExpr ranges index into it).
   const LOp* ops_base_ = nullptr;
-  /// Scratch value stack for leval, sized to prog_->max_eval_stack().
+  /// Scratch value stack for leval (lowered; sized to max_eval_stack) and
+  /// for the bytecode tier's EvalSpill path (sized to max_spill_stack).
   std::vector<uint64_t> eval_stack_;
-  /// Per-behavior-id completion counts (lowered path; the legacy path counts
-  /// into behavior_completions_ directly).
+  /// Per-behavior-id completion counts (slot-indexed tiers; the legacy path
+  /// counts into behavior_completions_ directly).
   std::vector<uint64_t> completions_;
+
+  /// Bytecode tier state (null/empty under the other tiers).
+  std::shared_ptr<const BytecodeProgram> bprog_;
+  const BInstr* bcode_ = nullptr;     // cached bprog_->code().data()
+  std::vector<uint64_t> regs_;        // register file (kMaxRegs slots)
+  std::vector<uint64_t> staging_;     // pending call in-args, by param slot
+  /// Behavior names indexed by interned id, materialized once for the
+  /// SlotObserver binding (valid for every slot-indexed tier).
+  std::vector<std::string> bound_names_;
 
   std::vector<std::unique_ptr<Process>> processes_;
 
@@ -302,6 +380,41 @@ class Simulator {
   std::priority_queue<RunEvent, std::vector<RunEvent>, std::greater<>> run_q_;
   std::priority_queue<SignalEvent, std::vector<SignalEvent>, std::greater<>>
       sig_q_;
+
+  // Bytecode-tier fast scheduler: almost every event lands at now_ (wakes,
+  // joins) or now_ + 1 (the default stmt_cost / signal_delay), so those two
+  // instants get plain FIFO vectors and the priority queues above serve only
+  // as far-future overflow (multi-cycle delays, non-default costs). Ordering
+  // stays exact: for any instant T, overflow events were necessarily
+  // scheduled at earlier simulation times than bucket events — smaller seq —
+  // so draining overflow-first preserves the global (time, seq) order.
+  struct FastSig {
+    uint32_t signal;
+    uint64_t value;
+  };
+  struct FastBucket {
+    std::vector<Process*> runs;
+    std::vector<FastSig> sigs;
+    [[nodiscard]] bool empty() const { return runs.empty() && sigs.empty(); }
+    void clear() {
+      runs.clear();
+      sigs.clear();
+    }
+  };
+  bool fast_sched_ = false;  // set iff running the bytecode tier
+  FastBucket fast_buckets_[2];
+  FastBucket* fb_cur_ = &fast_buckets_[0];   // events at now_
+  FastBucket* fb_next_ = &fast_buckets_[1];  // events at now_ + 1
+  /// Index into fb_cur_->runs of the entry *after* the one being stepped,
+  /// maintained by run_fast_loop around every bstep call. The VM's statement
+  /// chain (interp_bytecode.cpp) reads it to prove the current process is
+  /// the last pending step of the instant.
+  uint32_t fb_run_next_ = 0;
+  /// True iff stmt_cost == 1 under the fast scheduler: every successful
+  /// statement re-arms into fb_next_, which is what lets the VM chain
+  /// statements (and inline the re-arm push) without consulting the config.
+  bool chain_ok_ = false;
+
   uint64_t seq_counter_ = 0;
   uint64_t now_ = 0;
   uint64_t steps_ = 0;

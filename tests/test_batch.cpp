@@ -190,7 +190,7 @@ TEST(SimulatorReset, RerunIsBitIdentical) {
 TEST(SimulatorReset, WorksOnLegacyInterpreterToo) {
   const Specification spec = testing::abc_spec(2);
   SimConfig cfg;
-  cfg.use_lowering = false;
+  cfg.exec_tier = ExecTier::Tree;
   Simulator sim(spec, cfg);
   const SimResult first = sim.run();
   sim.reset();

@@ -1,0 +1,447 @@
+// Unit tests for the bytecode execution tier (sim/bytecode.h) and the
+// persistent on-disk program cache (sim/disk_cache.h): superinstruction
+// fusion, the register-allocation spill path, image serialization
+// round-trips, corruption tolerance, and the L1/L2 cache flow a fleet of
+// worker processes relies on.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "sim/bytecode.h"
+#include "sim/disk_cache.h"
+#include "sim/program_cache.h"
+#include "sim/simulator.h"
+#include "spec/builder.h"
+#include "test_util.h"
+#include "workloads/medical.h"
+
+namespace specsyn {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::shared_ptr<const BytecodeProgram> compile_spec(const Specification& spec) {
+  validate_or_throw(spec);
+  VarTable vars;
+  SignalTable signals;
+  for (const VarDecl* v : spec.all_vars()) vars.add(v->name, v->type, v->init);
+  for (const SignalDecl* s : spec.all_signals()) {
+    signals.add(s->name, s->type, s->init);
+  }
+  return BytecodeProgram::compile(spec, vars, signals);
+}
+
+bool has_op(const BytecodeProgram& p, BOp op) {
+  for (const BInstr& i : p.code()) {
+    if (i.op == op) return true;
+  }
+  return false;
+}
+
+SimResult run_tier(const Specification& spec, ExecTier tier) {
+  SimConfig cfg;
+  cfg.exec_tier = tier;
+  Simulator sim(spec, cfg);
+  return sim.run();
+}
+
+void expect_same_result(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.root_completed, b.root_completed);
+  EXPECT_EQ(a.final_vars, b.final_vars);
+  EXPECT_EQ(a.observable_writes, b.observable_writes);
+  EXPECT_EQ(a.behavior_completions, b.behavior_completions);
+}
+
+/// A spec whose body hits every fusable statement shape.
+Specification fusion_spec() {
+  using namespace build;
+  Specification s;
+  s.name = "fusion";
+  s.vars.push_back(var("x", Type::u16()));
+  s.vars.push_back(var("y", Type::u16()));
+  s.signals.push_back(signal("req"));
+  s.top = leaf("main", block(assign("x", lit(5)),       // AssignImmVar
+                             assign("y", ref("x")),     // AssignLoad
+                             set("req", 1),             // SigImm
+                             sassign("req", ref("x")),  // SigLoad
+                             wait_eq("req", 1),         // WaitSigEq
+                             wait(ref("req"))));        // WaitSigNz
+  return s;
+}
+
+TEST(BytecodeCompile, SuperinstructionFusion) {
+  const Specification spec = fusion_spec();
+  auto prog = compile_spec(spec);
+  ASSERT_NE(prog, nullptr);
+  EXPECT_TRUE(has_op(*prog, BOp::AssignImmVar));
+  EXPECT_TRUE(has_op(*prog, BOp::AssignLoad));
+  EXPECT_TRUE(has_op(*prog, BOp::SigImm));
+  EXPECT_TRUE(has_op(*prog, BOp::SigLoad));
+  EXPECT_TRUE(has_op(*prog, BOp::WaitSigEq));
+  EXPECT_TRUE(has_op(*prog, BOp::WaitSigNz));
+  // Every statement fused: no generic store or wait remains.
+  EXPECT_FALSE(has_op(*prog, BOp::StVar));
+  EXPECT_FALSE(has_op(*prog, BOp::WaitTrue));
+  // Fusion must not change observable behaviour.
+  expect_same_result(run_tier(spec, ExecTier::Bytecode),
+                     run_tier(spec, ExecTier::Tree));
+}
+
+TEST(BytecodeCompile, MicroOpImmediateFusion) {
+  using namespace build;
+  Specification s;
+  s.name = "micro_fuse";
+  s.signals.push_back(signal("a"));
+  s.signals.push_back(signal("b"));
+  s.vars.push_back(var("x", Type::u16()));
+  s.vars.push_back(var("y", Type::u16()));
+  // Compound compare in an assignment: each `sig == k` collapses to one
+  // SigBinImm micro-op; the literal rhs of x + 3 folds into BinApplyImm.
+  // (Inside a wait the same shape fuses further, into WaitSigExpr.)
+  s.top = leaf("main",
+               block(set("a", 1), set("b", 2),
+                     assign("y", land(eq(ref("a"), lit(1)),
+                                      eq(ref("b"), lit(2)))),
+                     assign("x", add(add(ref("x"), ref("x")), lit(3)))));
+  auto prog = compile_spec(s);
+  ASSERT_NE(prog, nullptr);
+  EXPECT_TRUE(has_op(*prog, BOp::SigBinImm));
+  EXPECT_TRUE(has_op(*prog, BOp::BinApplyImm));
+  // Both signal reads fused away; no bare LoadSig/LoadLit feed remains.
+  EXPECT_FALSE(has_op(*prog, BOp::LoadSig));
+  expect_same_result(run_tier(s, ExecTier::Bytecode),
+                     run_tier(s, ExecTier::Tree));
+}
+
+TEST(BytecodeCompile, WaitSigExprFusesSignalConditions) {
+  using namespace build;
+  Specification s;
+  s.name = "wait_conj";
+  s.signals.push_back(signal("ack"));
+  s.signals.push_back(signal("busy"));
+  s.signals.push_back(signal("err", Type::u16()));
+  // An &&-tree of pure signal-vs-literal compares — including a swapped
+  // `lit < sig` leaf — fuses into a single WaitSigExpr dispatch.
+  s.top = leaf("main",
+               block(set("ack", 1), set("busy", 0), set("err", 3),
+                     wait(land(land(eq(ref("ack"), lit(1)),
+                                    eq(ref("busy"), lit(0))),
+                               lt(lit(2), ref("err"))))));
+  auto prog = compile_spec(s);
+  ASSERT_NE(prog, nullptr);
+  EXPECT_TRUE(has_op(*prog, BOp::WaitSigExpr));
+  EXPECT_FALSE(has_op(*prog, BOp::WaitTrue));
+  EXPECT_EQ(prog->wait_ops().size(), 5u);  // 3 compare leaves + 2 combiners
+  expect_same_result(run_tier(s, ExecTier::Bytecode),
+                     run_tier(s, ExecTier::Tree));
+}
+
+TEST(BytecodeCompile, WaitSigExprFusesAddressDecodeOrFan) {
+  using namespace build;
+  Specification s;
+  s.name = "wait_decode";
+  s.signals.push_back(signal("start"));
+  s.signals.push_back(signal("addr", Type::u16()));
+  // The refined-slave decode shape: `start == 1 && (addr == a || ... )`.
+  s.top = leaf("main",
+               block(set("start", 1), set("addr", 2),
+                     wait(land(eq(ref("start"), lit(1)),
+                               lor(lor(eq(ref("addr"), lit(0)),
+                                       eq(ref("addr"), lit(1))),
+                                   eq(ref("addr"), lit(2)))))));
+  auto prog = compile_spec(s);
+  ASSERT_NE(prog, nullptr);
+  EXPECT_TRUE(has_op(*prog, BOp::WaitSigExpr));
+  EXPECT_FALSE(has_op(*prog, BOp::WaitTrue));
+  expect_same_result(run_tier(s, ExecTier::Bytecode),
+                     run_tier(s, ExecTier::Tree));
+}
+
+TEST(BytecodeCompile, WaitVarCompareStaysGeneric) {
+  using namespace build;
+  Specification s;
+  s.name = "wait_var";
+  s.signals.push_back(signal("go"));
+  s.vars.push_back(var("x", Type::u16()));
+  // A variable leaf poisons the condition: no WaitSigExpr, generic path.
+  s.top = leaf("main", block(set("go", 1), assign("x", lit(1)),
+                             wait(land(eq(ref("go"), lit(1)),
+                                       eq(ref("x"), lit(1))))));
+  auto prog = compile_spec(s);
+  ASSERT_NE(prog, nullptr);
+  EXPECT_FALSE(has_op(*prog, BOp::WaitSigExpr));
+  EXPECT_TRUE(has_op(*prog, BOp::WaitTrue));
+  expect_same_result(run_tier(s, ExecTier::Bytecode),
+                     run_tier(s, ExecTier::Tree));
+}
+
+TEST(BytecodeCompile, WaitSigEqFusesBothOperandOrders) {
+  using namespace build;
+  Specification s;
+  s.name = "wait_rev";
+  s.signals.push_back(signal("go"));
+  s.top = leaf("main", block(set("go", 1),
+                             wait(eq(lit(1, Type::bit()), ref("go")))));
+  auto prog = compile_spec(s);
+  ASSERT_NE(prog, nullptr);
+  EXPECT_TRUE(has_op(*prog, BOp::WaitSigEq));
+  EXPECT_FALSE(has_op(*prog, BOp::WaitTrue));
+}
+
+TEST(BytecodeCompile, DeepExpressionTakesSpillPath) {
+  using namespace build;
+  // Right-nested adds: postfix evaluation depth is the nesting count + 1,
+  // so 70 levels exceed the kMaxRegs = 64 register file.
+  ExprPtr e = lit(1);
+  for (int i = 0; i < 70; ++i) e = add(lit(1), std::move(e));
+  Specification s;
+  s.name = "deep";
+  s.vars.push_back(var("x", Type::u32(), 0, /*observable=*/true));
+  s.top = leaf("main", block(assign("x", std::move(e))));
+
+  auto prog = compile_spec(s);
+  ASSERT_NE(prog, nullptr);
+  EXPECT_TRUE(has_op(*prog, BOp::EvalSpill));
+  EXPECT_GT(prog->max_spill_stack(), kMaxRegs);
+
+  const SimResult bc = run_tier(s, ExecTier::Bytecode);
+  expect_same_result(bc, run_tier(s, ExecTier::Tree));
+  ASSERT_EQ(bc.final_vars.count("x"), 1u);
+  EXPECT_EQ(bc.final_vars.at("x"), 71u);
+}
+
+TEST(BytecodeCompile, ShallowExpressionsStayInRegisters) {
+  using namespace build;
+  Specification s;
+  s.name = "shallow";
+  s.vars.push_back(var("x", Type::u32()));
+  s.vars.push_back(var("y", Type::u32()));
+  s.top = leaf("main",
+               block(assign("x", add(mul(ref("x"), ref("y")), lit(7)))));
+  auto prog = compile_spec(s);
+  ASSERT_NE(prog, nullptr);
+  // x*y keeps the reg-reg form; the literal +7 folds into its consumer.
+  EXPECT_TRUE(has_op(*prog, BOp::BinApply));
+  EXPECT_TRUE(has_op(*prog, BOp::BinApplyImm));
+  EXPECT_FALSE(has_op(*prog, BOp::EvalSpill));
+  EXPECT_EQ(prog->max_spill_stack(), 0u);
+}
+
+TEST(BytecodeImage, SerializeRoundTripIsExact) {
+  const Specification spec = make_medical_system();
+  auto prog = compile_spec(spec);
+  ASSERT_NE(prog, nullptr);
+  const std::string image = prog->serialize();
+  ASSERT_FALSE(image.empty());
+
+  // Deterministic: recompiling identical content serializes identically.
+  EXPECT_EQ(compile_spec(spec)->serialize(), image);
+
+  auto loaded = BytecodeProgram::deserialize(
+      image, spec, spec.all_vars().size(), spec.all_signals().size());
+  ASSERT_NE(loaded, nullptr);
+  // Complete: the loaded program re-serializes to the same bytes.
+  EXPECT_EQ(loaded->serialize(), image);
+  EXPECT_EQ(loaded->behavior_count(), prog->behavior_count());
+  EXPECT_EQ(loaded->behavior_names(), prog->behavior_names());
+  EXPECT_EQ(loaded->reg_count(), prog->reg_count());
+}
+
+TEST(BytecodeImage, TruncatedImagesAreRejected) {
+  const Specification spec = make_medical_system();
+  const std::string image = compile_spec(spec)->serialize();
+  const size_t n = image.size();
+  for (size_t len : {size_t{0}, size_t{1}, size_t{7}, n / 4, n / 2, n - 1}) {
+    SCOPED_TRACE("prefix length " + std::to_string(len));
+    EXPECT_EQ(BytecodeProgram::deserialize(
+                  std::string_view(image).substr(0, len), spec,
+                  spec.all_vars().size(), spec.all_signals().size()),
+              nullptr);
+  }
+  // Trailing garbage is also an inconsistency, not silently ignored.
+  EXPECT_EQ(BytecodeProgram::deserialize(image + "x", spec,
+                                         spec.all_vars().size(),
+                                         spec.all_signals().size()),
+            nullptr);
+}
+
+TEST(BytecodeImage, MismatchedSpecIsRejected) {
+  const Specification spec = make_medical_system();
+  const std::string image = compile_spec(spec)->serialize();
+  const Specification other = testing::abc_spec(2);
+  EXPECT_EQ(BytecodeProgram::deserialize(image, other,
+                                         other.all_vars().size(),
+                                         other.all_signals().size()),
+            nullptr);
+}
+
+class DiskCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("specsyn_disk_cache_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->current_test_info()
+                               ->line()));
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  /// Flips one byte near the end of every cache file (payload region, so
+  /// the stored checksum no longer matches).
+  void corrupt_all_files() const {
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      std::fstream f(entry.path(),
+                     std::ios::in | std::ios::out | std::ios::binary);
+      ASSERT_TRUE(f.is_open());
+      f.seekg(0, std::ios::end);
+      const auto size = static_cast<std::streamoff>(f.tellg());
+      ASSERT_GT(size, 0);
+      f.seekg(size - 1);
+      char c = 0;
+      f.read(&c, 1);
+      c = static_cast<char>(c ^ 0x5a);
+      f.seekp(size - 1);
+      f.write(&c, 1);
+    }
+  }
+
+  void truncate_all_files() const {
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      std::error_code ec;
+      fs::resize_file(entry.path(), fs::file_size(entry.path()) / 2, ec);
+      ASSERT_FALSE(ec);
+    }
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(DiskCacheTest, StoreLoadRoundTrip) {
+  DiskProgramCache disk(dir_.string());
+  const std::string key = "some cache key\x01with binary bits";
+  const std::string payload = "payload bytes \0 included";
+  EXPECT_EQ(disk.load(key), "");  // cold
+  disk.store(key, payload);
+  EXPECT_EQ(disk.load(key), payload);
+  EXPECT_EQ(disk.load("different key"), "");
+  const DiskProgramCache::Stats s = disk.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.stores, 1u);
+}
+
+TEST_F(DiskCacheTest, CorruptedFileIsAMiss) {
+  DiskProgramCache disk(dir_.string());
+  disk.store("key", "a payload long enough to corrupt meaningfully");
+  corrupt_all_files();
+  EXPECT_EQ(disk.load("key"), "");
+}
+
+TEST_F(DiskCacheTest, TruncatedFileIsAMiss) {
+  DiskProgramCache disk(dir_.string());
+  disk.store("key", "a payload long enough to truncate meaningfully");
+  truncate_all_files();
+  EXPECT_EQ(disk.load("key"), "");
+}
+
+TEST_F(DiskCacheTest, SecondProcessLoadsInsteadOfCompiling) {
+  const Specification spec = make_medical_system();
+  SimConfig cfg;
+  cfg.exec_tier = ExecTier::Bytecode;
+  DiskProgramCache disk(dir_.string());
+
+  // "Process 1": cold disk — compiles and publishes the image.
+  ProgramCache first;
+  first.set_disk(&disk);
+  const SimResult r1 = Simulator(spec, cfg, &first).run();
+  ProgramCache::Stats s1 = first.stats();
+  EXPECT_EQ(s1.disk_hits, 0u);
+  EXPECT_EQ(s1.disk_misses, 1u);
+  EXPECT_EQ(s1.disk_stores, 1u);
+
+  // "Process 2": fresh L1, same disk — must load, not recompile.
+  ProgramCache second;
+  second.set_disk(&disk);
+  const SimResult r2 = Simulator(spec, cfg, &second).run();
+  ProgramCache::Stats s2 = second.stats();
+  EXPECT_EQ(s2.disk_hits, 1u);
+  EXPECT_EQ(s2.disk_misses, 0u);
+  EXPECT_EQ(s2.disk_stores, 0u);
+  expect_same_result(r2, r1);
+}
+
+TEST_F(DiskCacheTest, CorruptedImageFallsBackToCompile) {
+  const Specification spec = make_medical_system();
+  SimConfig cfg;
+  cfg.exec_tier = ExecTier::Bytecode;
+  DiskProgramCache disk(dir_.string());
+  ProgramCache first;
+  first.set_disk(&disk);
+  const SimResult r1 = Simulator(spec, cfg, &first).run();
+  corrupt_all_files();
+
+  ProgramCache second;
+  second.set_disk(&disk);
+  const SimResult r2 = Simulator(spec, cfg, &second).run();
+  ProgramCache::Stats s2 = second.stats();
+  EXPECT_EQ(s2.disk_hits, 0u);  // corruption degraded to a clean miss
+  EXPECT_EQ(s2.disk_misses, 1u);
+  EXPECT_EQ(s2.disk_stores, 1u);  // and the repaired image was re-published
+  expect_same_result(r2, r1);
+
+  // The re-published image is valid again for a third process.
+  ProgramCache third;
+  third.set_disk(&disk);
+  const SimResult r3 = Simulator(spec, cfg, &third).run();
+  EXPECT_EQ(third.stats().disk_hits, 1u);
+  expect_same_result(r3, r1);
+}
+
+TEST(ProgramCacheTiers, TiersGetSeparateEntries) {
+  const Specification spec = testing::abc_spec(2);
+  ProgramCache cache;
+  SimConfig lowered;
+  lowered.exec_tier = ExecTier::Lowered;
+  SimConfig bytecode;
+  bytecode.exec_tier = ExecTier::Bytecode;
+
+  auto a = cache.get(spec, lowered);
+  auto b = cache.get(spec, bytecode);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a->program, nullptr);
+  EXPECT_EQ(a->bytecode, nullptr);
+  EXPECT_EQ(b->program, nullptr);
+  EXPECT_NE(b->bytecode, nullptr);
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  auto a2 = cache.get(spec, lowered);
+  EXPECT_EQ(a2, a);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ProgramCacheTiers, CachedBytecodeRunsIdenticalToFresh) {
+  const Specification spec = make_medical_system();
+  SimConfig cfg;
+  cfg.exec_tier = ExecTier::Bytecode;
+  ProgramCache cache;
+  const SimResult cached1 = Simulator(spec, cfg, &cache).run();
+  const SimResult cached2 = Simulator(spec, cfg, &cache).run();  // L1 hit
+  const SimResult fresh = Simulator(spec, cfg).run();
+  EXPECT_EQ(cache.stats().hits, 1u);
+  expect_same_result(cached1, fresh);
+  expect_same_result(cached2, fresh);
+}
+
+}  // namespace
+}  // namespace specsyn

@@ -1,8 +1,9 @@
-// Differential tests for the lowering pass: the lowered interpreter
-// (sim/program.h + interp_lowered.cpp) must be observationally
-// indistinguishable from the legacy tree-walking interpreter — identical
-// SimResult, identical observer callback streams, identical profiles — on
-// every workload the repo can produce.
+// Differential tests for the compiled execution tiers: the lowered
+// interpreter (sim/program.h + interp_lowered.cpp) and the bytecode
+// interpreter (sim/bytecode.h + interp_bytecode.cpp) must both be
+// observationally indistinguishable from the legacy tree-walking
+// interpreter — identical SimResult, identical observer callback streams,
+// identical profiles — on every workload the repo can produce.
 #include <gtest/gtest.h>
 
 #include <fstream>
@@ -20,32 +21,41 @@
 namespace specsyn {
 namespace {
 
-SimResult simulate(const Specification& spec, bool use_lowering,
+SimResult simulate(const Specification& spec, ExecTier tier,
                    SimObserver* obs = nullptr) {
   SimConfig cfg;
-  cfg.use_lowering = use_lowering;
+  cfg.exec_tier = tier;
   Simulator sim(spec, cfg);
   if (obs != nullptr) sim.add_observer(obs);
   return sim.run();
 }
 
+void expect_same_result(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.root_completed, b.root_completed);
+  EXPECT_EQ(a.final_vars, b.final_vars);
+  EXPECT_EQ(a.observable_writes, b.observable_writes);
+  EXPECT_EQ(a.behavior_completions, b.behavior_completions);
+
+  ASSERT_EQ(a.blocked.size(), b.blocked.size());
+  for (size_t i = 0; i < a.blocked.size(); ++i) {
+    EXPECT_EQ(a.blocked[i].process_id, b.blocked[i].process_id);
+    EXPECT_EQ(a.blocked[i].behavior, b.blocked[i].behavior);
+    EXPECT_EQ(a.blocked[i].waiting_on, b.blocked[i].waiting_on);
+  }
+}
+
 void expect_identical_results(const Specification& spec) {
-  const SimResult lowered = simulate(spec, true);
-  const SimResult legacy = simulate(spec, false);
-
-  EXPECT_EQ(lowered.status, legacy.status);
-  EXPECT_EQ(lowered.end_time, legacy.end_time);
-  EXPECT_EQ(lowered.steps, legacy.steps);
-  EXPECT_EQ(lowered.root_completed, legacy.root_completed);
-  EXPECT_EQ(lowered.final_vars, legacy.final_vars);
-  EXPECT_EQ(lowered.observable_writes, legacy.observable_writes);
-  EXPECT_EQ(lowered.behavior_completions, legacy.behavior_completions);
-
-  ASSERT_EQ(lowered.blocked.size(), legacy.blocked.size());
-  for (size_t i = 0; i < lowered.blocked.size(); ++i) {
-    EXPECT_EQ(lowered.blocked[i].process_id, legacy.blocked[i].process_id);
-    EXPECT_EQ(lowered.blocked[i].behavior, legacy.blocked[i].behavior);
-    EXPECT_EQ(lowered.blocked[i].waiting_on, legacy.blocked[i].waiting_on);
+  const SimResult legacy = simulate(spec, ExecTier::Tree);
+  {
+    SCOPED_TRACE("lowered vs tree");
+    expect_same_result(simulate(spec, ExecTier::Lowered), legacy);
+  }
+  {
+    SCOPED_TRACE("bytecode vs tree");
+    expect_same_result(simulate(spec, ExecTier::Bytecode), legacy);
   }
 }
 
@@ -57,17 +67,24 @@ TEST(LoweringDifferential, AnsweringMachine) {
   expect_identical_results(make_answering_machine());
 }
 
+// The paper's full implementation-model axis under both bus protocols: every
+// refined medical spec must agree across all three execution tiers.
 TEST(LoweringDifferential, RefinedMedicalAllModels) {
   const Specification spec = make_medical_system();
   AccessGraph graph = build_access_graph(spec);
   auto d = make_medical_design(spec, graph, 1);
   for (ImplModel m : {ImplModel::Model1, ImplModel::Model2, ImplModel::Model3,
                       ImplModel::Model4}) {
-    RefineConfig cfg;
-    cfg.model = m;
-    RefineResult r = refine(d.partition, graph, cfg);
-    SCOPED_TRACE(to_string(m));
-    expect_identical_results(r.refined);
+    for (ProtocolStyle p :
+         {ProtocolStyle::FullHandshake, ProtocolStyle::ByteSerial}) {
+      RefineConfig cfg;
+      cfg.model = m;
+      cfg.protocol = p;
+      RefineResult r = refine(d.partition, graph, cfg);
+      SCOPED_TRACE(std::string(to_string(m)) +
+                   (p == ProtocolStyle::FullHandshake ? "/hs" : "/bs"));
+      expect_identical_results(r.refined);
+    }
   }
 }
 
@@ -82,7 +99,7 @@ TEST(LoweringDifferential, SyntheticSweep) {
   }
 }
 
-// The example .spec files exercise the parser front end; the lowered path
+// The example .spec files exercise the parser front end; the compiled tiers
 // must agree on specs that arrive as text, not just programmatic builders.
 TEST(LoweringDifferential, ExampleSpecFiles) {
   for (const char* rel :
@@ -101,7 +118,7 @@ TEST(LoweringDifferential, ExampleSpecFiles) {
 }
 
 // Records every observer callback as a printable line so whole streams can
-// be compared; proves the lowered observer fast path fires the same events
+// be compared; proves the compiled observer fast paths fire the same events
 // at the same times in the same order.
 class RecordingObserver : public SimObserver {
  public:
@@ -137,11 +154,14 @@ class RecordingObserver : public SimObserver {
 TEST(LoweringDifferential, ObserverStreamsIdentical) {
   const Specification spec = make_medical_system();
   RecordingObserver lowered;
+  RecordingObserver bytecode;
   RecordingObserver legacy;
-  simulate(spec, true, &lowered);
-  simulate(spec, false, &legacy);
+  simulate(spec, ExecTier::Lowered, &lowered);
+  simulate(spec, ExecTier::Bytecode, &bytecode);
+  simulate(spec, ExecTier::Tree, &legacy);
   ASSERT_FALSE(lowered.events.empty());
   EXPECT_EQ(lowered.events, legacy.events);
+  EXPECT_EQ(bytecode.events, legacy.events);
 }
 
 TEST(LoweringDifferential, ObserverStreamsIdenticalRefined) {
@@ -152,43 +172,52 @@ TEST(LoweringDifferential, ObserverStreamsIdenticalRefined) {
   cfg.model = ImplModel::Model2;
   RefineResult r = refine(d.partition, graph, cfg);
   RecordingObserver lowered;
+  RecordingObserver bytecode;
   RecordingObserver legacy;
-  simulate(r.refined, true, &lowered);
-  simulate(r.refined, false, &legacy);
+  simulate(r.refined, ExecTier::Lowered, &lowered);
+  simulate(r.refined, ExecTier::Bytecode, &bytecode);
+  simulate(r.refined, ExecTier::Tree, &legacy);
   ASSERT_FALSE(lowered.events.empty());
   EXPECT_EQ(lowered.events, legacy.events);
+  EXPECT_EQ(bytecode.events, legacy.events);
 }
 
 TEST(LoweringDifferential, ProfilesIdentical) {
   const Specification spec = make_medical_system();
   SimConfig lowered_cfg;
+  lowered_cfg.exec_tier = ExecTier::Lowered;
+  SimConfig bytecode_cfg;
+  bytecode_cfg.exec_tier = ExecTier::Bytecode;
   SimConfig legacy_cfg;
-  legacy_cfg.use_lowering = false;
-  const ProfileResult lowered = profile_spec(spec, lowered_cfg);
+  legacy_cfg.exec_tier = ExecTier::Tree;
   const ProfileResult legacy = profile_spec(spec, legacy_cfg);
+  for (const SimConfig& cfg : {lowered_cfg, bytecode_cfg}) {
+    SCOPED_TRACE(exec_tier_name(cfg.exec_tier));
+    const ProfileResult compiled = profile_spec(spec, cfg);
 
-  ASSERT_EQ(lowered.behaviors.size(), legacy.behaviors.size());
-  for (const auto& [name, prof] : lowered.behaviors) {
-    auto it = legacy.behaviors.find(name);
-    ASSERT_NE(it, legacy.behaviors.end()) << name;
-    EXPECT_EQ(prof.activations, it->second.activations) << name;
-    EXPECT_EQ(prof.first_start, it->second.first_start) << name;
-    EXPECT_EQ(prof.last_end, it->second.last_end) << name;
+    ASSERT_EQ(compiled.behaviors.size(), legacy.behaviors.size());
+    for (const auto& [name, prof] : compiled.behaviors) {
+      auto it = legacy.behaviors.find(name);
+      ASSERT_NE(it, legacy.behaviors.end()) << name;
+      EXPECT_EQ(prof.activations, it->second.activations) << name;
+      EXPECT_EQ(prof.first_start, it->second.first_start) << name;
+      EXPECT_EQ(prof.last_end, it->second.last_end) << name;
+    }
+    ASSERT_EQ(compiled.accesses.size(), legacy.accesses.size());
+    for (const auto& [channel, counts] : compiled.accesses) {
+      auto it = legacy.accesses.find(channel);
+      ASSERT_NE(it, legacy.accesses.end());
+      EXPECT_EQ(counts.reads, it->second.reads);
+      EXPECT_EQ(counts.writes, it->second.writes);
+    }
+    EXPECT_EQ(compiled.sim.steps, legacy.sim.steps);
+    EXPECT_EQ(compiled.sim.end_time, legacy.sim.end_time);
   }
-  ASSERT_EQ(lowered.accesses.size(), legacy.accesses.size());
-  for (const auto& [channel, counts] : lowered.accesses) {
-    auto it = legacy.accesses.find(channel);
-    ASSERT_NE(it, legacy.accesses.end());
-    EXPECT_EQ(counts.reads, it->second.reads);
-    EXPECT_EQ(counts.writes, it->second.writes);
-  }
-  EXPECT_EQ(lowered.sim.steps, legacy.sim.steps);
-  EXPECT_EQ(lowered.sim.end_time, legacy.sim.end_time);
 }
 
 // Satellite check: a break outside any loop must be rejected by validation
-// (both interpreters would otherwise hit the defensive "break escaped its
-// body" throw at run time).
+// (the interpreters would otherwise hit defensive throws at compile or run
+// time).
 TEST(LoweringValidation, BreakOutsideLoopRejected) {
   using namespace build;
   Specification spec;

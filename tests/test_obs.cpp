@@ -177,7 +177,7 @@ TEST(BusTracer, RequiresLowering) {
   const Specification m1 = refined_medical(ImplModel::Model1);
   BusTracer t(m1);
   SimConfig cfg;
-  cfg.use_lowering = false;
+  cfg.exec_tier = ExecTier::Tree;
   Simulator sim(m1, cfg);
   EXPECT_THROW(sim.add_slot_observer(&t), SpecError);
 }
@@ -198,6 +198,32 @@ TEST(Metrics, ReportMatchesTracer) {
     EXPECT_GE(mr.grant_latency_max,
               static_cast<uint64_t>(mr.grant_latency_avg));
   }
+}
+
+// The observed bytecode path: a tracer attached under the bytecode tier must
+// see the identical commit/schedule stream as the lowered tier (same slots,
+// same interned behavior ids), so metrics and exported traces match
+// byte-for-byte. Also guards the Binding contract — b.prog is null under
+// bytecode and observers must not read through it (this once segfaulted).
+TEST(BusTracer, BytecodeTierMatchesLowered) {
+  const Specification m1 = refined_medical(ImplModel::Model1);
+  auto run_tier = [&](ExecTier tier) {
+    SimConfig cfg;
+    cfg.exec_tier = tier;
+    BusTracer tracer(m1);
+    TraceExporter exporter(100e6);
+    Simulator sim(m1, cfg);
+    sim.add_slot_observer(&tracer);
+    sim.add_slot_observer(&exporter);
+    sim.run();
+    return std::pair<std::string, std::string>(
+        MetricsReport::from(tracer).to_json(),
+        exporter.to_chrome_json(&tracer));
+  };
+  const auto lowered = run_tier(ExecTier::Lowered);
+  const auto bytecode = run_tier(ExecTier::Bytecode);
+  EXPECT_EQ(lowered.first, bytecode.first);
+  EXPECT_EQ(lowered.second, bytecode.second);
 }
 
 TEST(Metrics, TableAndJsonRender) {

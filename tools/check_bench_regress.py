@@ -30,8 +30,19 @@ noise guards so an unmodified tree passes on a loaded machine:
     population, not a slowdown.
 
 Benchmarks only present on one side are reported but never fail the gate
-(benches come and go; the gate is about regressions, not coverage). Exit
-status: 0 = no regression, 1 = regression found, 2 = bad input.
+(benches come and go; the gate is about regressions, not coverage).
+
+Beyond regressions, --expect-ratio asserts a relationship WITHIN the current
+run, e.g. that the bytecode tier actually beats the lowered tier:
+
+    --expect-ratio 'BM_Lowered_RefinedMedical/3:BM_Bytecode_RefinedMedical/3>=1.5'
+
+compares the two medians from the same run, so machine-wide load cancels out
+(both sides slow down together) — a structural perf loss does not. The flag
+is repeatable; a missing side fails the assertion.
+
+Exit status: 0 = no regression, 1 = regression or failed ratio assertion,
+2 = bad input.
 """
 
 import argparse
@@ -79,7 +90,25 @@ def main():
         help="base allowed slowdown fraction (default 0.10 = 10%%); widened "
         "per-benchmark by the measured repetition spread",
     )
+    ap.add_argument(
+        "--expect-ratio",
+        action="append",
+        default=[],
+        metavar="A:B>=X",
+        help="assert median(A) / median(B) >= X within the current run "
+        "(repeatable); fails the gate when violated or either side is absent",
+    )
     args = ap.parse_args()
+
+    expectations = []
+    for raw in args.expect_ratio:
+        try:
+            pair, bound = raw.split(">=")
+            name_a, name_b = pair.split(":")
+            expectations.append((name_a.strip(), name_b.strip(), float(bound)))
+        except ValueError:
+            print(f"error: bad --expect-ratio '{raw}'", file=sys.stderr)
+            sys.exit(2)
 
     base = load(args.baseline)
     cur = {}
@@ -125,12 +154,33 @@ def main():
     for name in sorted(set(cur) - set(base)):
         print(f"note: '{name}' only in current (skipped)")
 
-    if regressions:
-        print(
-            f"FAIL: {len(regressions)} benchmark(s) slower than baseline "
-            "beyond threshold + noise margin: " + ", ".join(regressions),
-            file=sys.stderr,
-        )
+    failed_ratios = []
+    for name_a, name_b, bound in expectations:
+        if name_a not in cur or name_b not in cur:
+            missing = name_a if name_a not in cur else name_b
+            print(f"RATIO-FAIL  '{missing}' absent from current run")
+            failed_ratios.append(f"{name_a}:{name_b}")
+            continue
+        ratio = statistics.median(cur[name_a]) / statistics.median(cur[name_b])
+        ok = ratio >= bound
+        marker = "ratio-ok" if ok else "RATIO-FAIL"
+        print(f"{marker:>10}  {name_a} / {name_b} = {ratio:.2f} (>= {bound:g})")
+        if not ok:
+            failed_ratios.append(f"{name_a}:{name_b}")
+
+    if regressions or failed_ratios:
+        if regressions:
+            print(
+                f"FAIL: {len(regressions)} benchmark(s) slower than baseline "
+                "beyond threshold + noise margin: " + ", ".join(regressions),
+                file=sys.stderr,
+            )
+        if failed_ratios:
+            print(
+                f"FAIL: {len(failed_ratios)} ratio assertion(s) violated: "
+                + ", ".join(failed_ratios),
+                file=sys.stderr,
+            )
         return 1
     print("PASS: no benchmark regression")
     return 0

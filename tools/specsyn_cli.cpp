@@ -19,8 +19,13 @@
 //   --max-cycles N         stop the run after N cycles (default 50M)
 //   --clock-hz HZ          nominal clock for cycle->time conversion (100e6)
 //   --vcd FILE             dump a VCD waveform of every signal
-//   --no-lowering          run the legacy tree-walking interpreter
-//                          (slot-indexed tracing requires lowering)
+//   --exec-tier T          execution tier: tree | lowered | bytecode
+//                          (default lowered, or $SPECSYN_EXEC_TIER;
+//                          slot-indexed tracing requires a compiled tier;
+//                          --no-lowering is a deprecated alias for
+//                          --exec-tier tree)
+//   --cache-dir DIR        persistent on-disk bytecode cache shared across
+//                          processes (bytecode tier only)
 //
 // refine options:
 //   --model N              implementation model 1..4 (default 1)
@@ -43,7 +48,8 @@
 //                          output is byte-identical for any value
 //   --verify               also check functional equivalence per point
 //   --json                 emit the ranked rows as JSON instead of the table
-//   --max-cycles N ; --clock-hz HZ ; --no-lowering ; -o FILE
+//   --max-cycles N ; --clock-hz HZ ; --exec-tier T ; --cache-dir DIR ;
+//   -o FILE
 //
 // fuzz options:
 //   --seeds N              number of seeds to run (default 100)
@@ -83,7 +89,9 @@
 #include "obs/metrics.h"
 #include "obs/trace_export.h"
 #include "refine/refiner.h"
+#include "sim/disk_cache.h"
 #include "sim/equivalence.h"
+#include "sim/program_cache.h"
 #include "sim/vcd.h"
 
 using namespace specsyn;
@@ -130,13 +138,23 @@ simulate options:
   --max-cycles N         stop after N cycles (default 50000000)
   --clock-hz HZ          nominal clock for cycle->time conversion (100e6)
   --vcd FILE             dump a VCD waveform of every signal
-  --no-lowering          run the legacy tree-walking interpreter
-                         (slot-indexed tracing requires lowering)
+  --exec-tier T          execution tier: tree (legacy tree-walking), lowered
+                         (flattened statement plans), or bytecode (threaded
+                         register bytecode). Default lowered, overridable
+                         via $SPECSYN_EXEC_TIER. Slot-indexed tracing
+                         (--trace/--metrics) requires a compiled tier.
+                         --no-lowering is a deprecated alias for
+                         --exec-tier tree.
+  --cache-dir DIR        persistent on-disk bytecode cache shared across
+                         processes: compiled images are stored under DIR and
+                         reloaded (instead of recompiled) by later runs.
+                         Bytecode tier only; prints hit/miss counters on
+                         stderr after the run.
 
 refine options:
   --model N ; --protocol hs|bs ; --scheme loop|wrapper ; --no-inline
   --assign B=C ; --pin-var V=C ; --ratio balanced|local|global ; --asics N
-  --vhdl ; --report ; --rates ; --verify ; --no-lowering ; -o FILE
+  --vhdl ; --report ; --rates ; --verify ; --exec-tier T ; -o FILE
 
 sweep options:
   --jobs N               worker threads (default 1; 0 = one per core); the
@@ -144,7 +162,7 @@ sweep options:
   --verify               also check per-point functional equivalence
   --json                 emit the ranked rows as JSON instead of the table
   partition options as for refine ; --max-cycles N ; --clock-hz HZ ;
-  --no-lowering ; -o FILE
+  --exec-tier T ; --cache-dir DIR ; -o FILE
 
 fuzz options:
   --seeds N              number of seeds to run (default 100)
@@ -185,7 +203,8 @@ struct Args {
   bool rates = false;
   bool verify = false;
   bool json = false;
-  bool use_lowering = true;
+  ExecTier exec_tier = default_exec_tier();
+  std::string cache_dir;
   bool metrics = false;
   uint64_t max_cycles = 0;  // 0 => SimConfig default
   double clock_hz = 0.0;    // 0 => SimConfig default
@@ -258,8 +277,23 @@ int parse_args(int argc, char** argv, Args& a) {
       a.verify = true;
     } else if (f == "--json") {
       a.json = true;
+    } else if (f == "--exec-tier") {
+      const char* v = next();
+      if (!v) return 2;
+      if (!parse_exec_tier(v, &a.exec_tier)) {
+        std::fprintf(stderr,
+                     "--exec-tier must be tree, lowered or bytecode\n");
+        return 2;
+      }
     } else if (f == "--no-lowering") {
-      a.use_lowering = false;
+      std::fprintf(stderr,
+                   "warning: --no-lowering is deprecated; use --exec-tier "
+                   "tree\n");
+      a.exec_tier = ExecTier::Tree;
+    } else if (f == "--cache-dir") {
+      const char* v = next();
+      if (!v) return 2;
+      a.cache_dir = v;
     } else if (f == "--vcd") {
       const char* v = next();
       if (!v) return 2;
@@ -398,10 +432,23 @@ int cmd_check(const Args& a, const Specification& spec) {
 
 int cmd_simulate(const Args& a, const Specification& spec) {
   SimConfig cfg;
-  cfg.use_lowering = a.use_lowering;
+  cfg.exec_tier = a.exec_tier;
   if (a.max_cycles != 0) cfg.max_cycles = a.max_cycles;
   if (a.clock_hz > 0.0) cfg.clock_hz = a.clock_hz;
-  Simulator sim(spec, cfg);
+  std::unique_ptr<DiskProgramCache> disk;
+  std::unique_ptr<ProgramCache> programs;
+  if (!a.cache_dir.empty()) {
+    if (cfg.exec_tier != ExecTier::Bytecode) {
+      std::fprintf(stderr,
+                   "warning: --cache-dir only persists bytecode-tier "
+                   "programs (running --exec-tier %s)\n",
+                   exec_tier_name(cfg.exec_tier));
+    }
+    disk = std::make_unique<DiskProgramCache>(a.cache_dir);
+    programs = std::make_unique<ProgramCache>();
+    programs->set_disk(disk.get());
+  }
+  Simulator sim(spec, cfg, programs.get());
   std::unique_ptr<VcdRecorder> vcd;
   if (!a.vcd_file.empty()) {
     vcd = std::make_unique<VcdRecorder>(spec);
@@ -470,7 +517,15 @@ int cmd_simulate(const Args& a, const Specification& spec) {
                   static_cast<unsigned long long>(w.value));
     }
   }
-  (void)a;
+  if (programs) {
+    const ProgramCache::Stats s = programs->stats();
+    std::fprintf(stderr,
+                 "cache: %llu disk hit(s), %llu disk miss(es), "
+                 "%llu store(s)\n",
+                 static_cast<unsigned long long>(s.disk_hits),
+                 static_cast<unsigned long long>(s.disk_misses),
+                 static_cast<unsigned long long>(s.disk_stores));
+  }
   return 0;
 }
 
@@ -509,7 +564,7 @@ int cmd_refine(const Args& a, const Specification& spec) {
   }
   if (a.verify) {
     EquivalenceOptions eo;
-    eo.config.use_lowering = a.use_lowering;
+    eo.config.exec_tier = a.exec_tier;
     eo.compare_write_traces = a.protocol == ProtocolStyle::FullHandshake;
     eo.parallel = true;  // overlap the two runs; the report is unaffected
     EquivalenceReport rep = check_equivalence(spec, r.refined, eo);
@@ -528,7 +583,7 @@ int cmd_sweep(const Args& a, const Specification& spec) {
   ProfileResult prof = profile_spec(spec);
 
   batch::SweepOptions so;
-  so.use_lowering = a.use_lowering;
+  so.exec_tier = a.exec_tier;
   so.verify = a.verify;
   if (a.max_cycles != 0) so.max_cycles = a.max_cycles;
   if (a.clock_hz > 0.0) so.clock_hz = a.clock_hz;
@@ -536,8 +591,22 @@ int cmd_sweep(const Args& a, const Specification& spec) {
   const size_t workers =
       a.jobs == 0 ? batch::ThreadPool::default_workers() : a.jobs;
   batch::ThreadPool pool(workers);
+  std::unique_ptr<DiskProgramCache> disk;
+  if (!a.cache_dir.empty()) {
+    disk = std::make_unique<DiskProgramCache>(a.cache_dir);
+    pool.set_disk_cache(disk.get());
+  }
   const batch::SweepReport rep = batch::run_sweep(
       spec, part, graph, prof, batch::full_matrix(), so, pool);
+  if (disk) {
+    const ProgramCache::Stats s = pool.cache_stats();
+    std::fprintf(stderr,
+                 "cache: %llu disk hit(s), %llu disk miss(es), "
+                 "%llu store(s)\n",
+                 static_cast<unsigned long long>(s.disk_hits),
+                 static_cast<unsigned long long>(s.disk_misses),
+                 static_cast<unsigned long long>(s.disk_stores));
+  }
   return write_output(a, a.json ? rep.json() : rep.table());
 }
 
