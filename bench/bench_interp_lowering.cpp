@@ -21,6 +21,7 @@
 #include "sim/disk_cache.h"
 #include "sim/program_cache.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 #include "workloads/medical.h"
 #include "workloads/synthetic.h"
 
@@ -158,6 +159,35 @@ void BM_TracedBytecode_RefinedMedical(benchmark::State& state) {
   state.SetLabel(to_string(model));
 }
 BENCHMARK(BM_TracedBytecode_RefinedMedical)->DenseRange(0, 3);
+
+// Telemetry A/B: the identical bytecode run with stats collection switched
+// on. With collection off, every instrumentation site is one relaxed atomic
+// load — priced by BM_Bytecode_RefinedMedical above, which must not move.
+// This row prices the ON path (span bookkeeping plus the per-run counter
+// flush); the regression gate in bench/CMakeLists.txt holds the off:on
+// ratio at >= 0.75 — measured overhead is ~0-5%, the slack covers the
+// load-window gap between the two rows on shared machines, and a real
+// 1.3x+ structural cost still fails the gate.
+void BM_BytecodeStats_RefinedMedical(benchmark::State& state) {
+  const auto model = static_cast<ImplModel>(state.range(0));
+  const Specification& spec = refined_medical(model);
+  SimConfig cfg;
+  cfg.exec_tier = ExecTier::Bytecode;
+  Simulator sim(spec, cfg);
+  telemetry::enable(true, false);
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    sim.reset();
+    SimResult r = sim.run();
+    steps = r.steps;
+    benchmark::DoNotOptimize(r.final_vars);
+  }
+  telemetry::enable(false, false);
+  telemetry::reset();
+  state.counters["steps"] = static_cast<double>(steps);
+  state.SetLabel(to_string(model));
+}
+BENCHMARK(BM_BytecodeStats_RefinedMedical)->DenseRange(0, 3);
 
 void BM_Lowered_Synthetic(benchmark::State& state) {
   simulate(state, synthetic_spec(), ExecTier::Lowered);

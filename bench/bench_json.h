@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "support/json.h"
+
 namespace specsyn {
 
 namespace bench_json_detail {
@@ -53,13 +55,6 @@ class RecordingReporter : public benchmark::ConsoleReporter {
   std::vector<Entry> entries;
 };
 
-inline void escape_into(std::string& out, const std::string& s) {
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-}
-
 inline void write_json(const std::vector<Entry>& entries,
                        const std::string& path) {
   std::ofstream out(path);
@@ -69,20 +64,15 @@ inline void write_json(const std::vector<Entry>& entries,
   for (const Entry& e : entries) {
     out << (first_entry ? "\n" : ",\n");
     first_entry = false;
-    std::string name, label;
-    escape_into(name, e.name);
-    escape_into(label, e.label);
-    out << "    {\"name\": \"" << name << "\", \"label\": \"" << label
-        << "\", \"ns_per_op\": " << e.ns_per_op;
+    out << "    {\"name\": \"" << json_escape(e.name) << "\", \"label\": \""
+        << json_escape(e.label) << "\", \"ns_per_op\": " << e.ns_per_op;
     if (!e.counters.empty()) {
       out << ", \"counters\": {";
       bool first_counter = true;
       for (const auto& [cname, value] : e.counters) {
         if (!first_counter) out << ", ";
         first_counter = false;
-        std::string cesc;
-        escape_into(cesc, cname);
-        out << "\"" << cesc << "\": " << value;
+        out << "\"" << json_escape(cname) << "\": " << value;
       }
       out << "}";
     }

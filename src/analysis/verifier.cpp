@@ -9,6 +9,8 @@
 
 #include "analysis/context.h"
 #include "refine/protocol.h"
+#include "support/json.h"
+#include "telemetry/telemetry.h"
 
 namespace specsyn::analysis {
 
@@ -545,22 +547,7 @@ class Checker {
 };
 
 void append_json_escaped(std::string& out, const std::string& s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
+  out += json_escape(s);
 }
 
 }  // namespace
@@ -636,6 +623,7 @@ std::string Report::json(const std::string& spec_name) const {
 }
 
 Report analyze(const Specification& spec) {
+  telemetry::Span span("check", telemetry::Stability::Stable);
   const Context ctx(spec);
   return Checker(ctx).run();
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <memory>
 #include <tuple>
+#include <utility>
 
 #include "analysis/verifier.h"
 #include "estimate/cost.h"
@@ -15,6 +16,8 @@
 #include "refine/refiner.h"
 #include "sim/equivalence.h"
 #include "support/diagnostics.h"
+#include "support/json.h"
+#include "telemetry/telemetry.h"
 
 namespace specsyn::batch {
 
@@ -29,26 +32,6 @@ void appendf(std::string& out, const char* fmt, ...) {
   out += buf;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          appendf(out, "\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 /// Refine + verify + price + simulate one matrix point. Everything this
 /// reads is shared const; everything it writes lives in the returned row or
 /// in worker-owned state (ctx.programs) — the determinism contract of
@@ -60,10 +43,17 @@ SweepRow eval_point(const Specification& spec, const Partition& part,
   SweepRow row;
   row.point = point;
   row.matrix_index = index;
+  telemetry::Span tm_point("sweep.point", telemetry::Stability::Stable,
+                           telemetry::enabled() ? point.label()
+                                                : std::string());
   try {
     RefineResult r = refine(part, graph, point.config);
-    const BusRateReport rates = bus_rates(prof, part, r.plan, opts.clock_hz);
-    const CostReport cost = estimate_cost(r, rates);
+    const auto [rates, cost] = [&] {
+      telemetry::Span span("price", telemetry::Stability::Stable);
+      BusRateReport rr = bus_rates(prof, part, r.plan, opts.clock_hz);
+      CostReport cr = estimate_cost(r, rr);
+      return std::pair(std::move(rr), std::move(cr));
+    }();
     row.buses = r.stats.buses;
     row.lines = count_lines(print(r.refined));
     row.peak_mbps = rates.max_rate();

@@ -1,8 +1,10 @@
 #include "batch/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "support/diagnostics.h"
+#include "telemetry/telemetry.h"
 
 namespace specsyn::batch {
 
@@ -75,10 +77,17 @@ bool ThreadPool::claim_job(size_t self, size_t& job) {
   if (victim == SIZE_MAX) return false;
   job = workers_[victim]->queue.front();
   workers_[victim]->queue.pop_front();
+  // Which worker steals from whom depends on timing, so every steal metric
+  // is scheduling-dependent by construction.
+  SPECSYN_TM_COUNT("pool.steals", telemetry::Stability::Sched, 1);
   return true;
 }
 
 void ThreadPool::worker_main(size_t self) {
+  const bool tm = telemetry::enabled();
+  if (tm)
+    telemetry::set_lane("worker " + std::to_string(self),
+                        static_cast<int>(self) + 1);
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     work_cv_.wait(lock, [&] { return stop_ || queued_ > 0; });
@@ -92,10 +101,25 @@ void ThreadPool::worker_main(size_t self) {
     lock.unlock();
     WorkerContext ctx{self, &workers_[self]->programs};
     std::exception_ptr err;
+    std::chrono::steady_clock::time_point jt0;
+    if (tm) jt0 = std::chrono::steady_clock::now();
     try {
       (*fn)(job, ctx);
     } catch (...) {
       err = std::current_exception();
+    }
+    if (tm) {
+      const auto busy = std::chrono::steady_clock::now() - jt0;
+      const std::string who = "pool.worker." + std::to_string(self);
+      // Total job count is the matrix/seed count (stable); which worker ran
+      // each job and for how long is not.
+      telemetry::count("pool.jobs", telemetry::Stability::Stable, 1);
+      telemetry::count(who + ".jobs", telemetry::Stability::Sched, 1);
+      telemetry::count(
+          who + ".busy_ns", telemetry::Stability::Time,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(busy)
+                  .count()));
     }
     lock.lock();
     if (err && job < error_job_) {
@@ -126,6 +150,10 @@ void ThreadPool::for_each(
     workers_[next_worker]->queue.push_back(job);
     next_worker = (next_worker + 1) % workers_.size();
     ++queued_;
+    // Depth as seen at each submission: how far ahead of the workers the
+    // producer runs (bounded by queue_bound_).
+    SPECSYN_TM_OBSERVE("pool.queue_depth", telemetry::Stability::Sched,
+                       queued_);
     work_cv_.notify_one();
   }
   done_cv_.wait(lock, [&] { return completed_ == total_; });

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 
@@ -10,6 +11,10 @@
 #include "fuzz/generator.h"
 #include "fuzz/reducer.h"
 #include "printer/printer.h"
+#include "sim/disk_cache.h"
+#include "sim/program_cache.h"
+#include "support/json.h"
+#include "telemetry/telemetry.h"
 
 namespace specsyn::fuzz {
 
@@ -38,28 +43,6 @@ void write_file(const std::string& path, const std::string& text) {
   out << text;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 /// Everything one seed produces, computed in the (possibly parallel) sweep
 /// phase. Side effects — file writes, log lines — happen later, in the
 /// serial seed-order merge, so output is byte-identical for any job count.
@@ -79,6 +62,10 @@ SeedOutcome eval_seed(const FuzzOptions& opts, size_t index,
                       ProgramCache* programs, bool parallel_equivalence) {
   SeedOutcome o;
   o.seed = opts.start_seed + index;
+  telemetry::Span tm_seed("fuzz.seed", telemetry::Stability::Stable,
+                          telemetry::enabled()
+                              ? "seed " + std::to_string(o.seed)
+                              : std::string());
   GenOptions gen;
   gen.seed = o.seed;
   gen.stmt_budget = opts.stmt_budget;
@@ -95,6 +82,7 @@ SeedOutcome eval_seed(const FuzzOptions& opts, size_t index,
   oopts.inject = opts.inject;
   oopts.programs = programs;
   oopts.parallel_equivalence = parallel_equivalence;
+  oopts.exec_tier = opts.exec_tier;
 
   const OracleOutcome outcome = run_oracles(spec, o.config, oopts);
   o.injection_applied =
@@ -158,8 +146,13 @@ FuzzReport run_fuzz(const FuzzOptions& opts, std::ostream& log) {
   std::vector<SeedOutcome> outcomes;
   const size_t jobs =
       opts.jobs == 0 ? batch::ThreadPool::default_workers() : opts.jobs;
+  std::unique_ptr<DiskProgramCache> disk;
+  if (!opts.cache_dir.empty()) {
+    disk = std::make_unique<DiskProgramCache>(opts.cache_dir);
+  }
   if (jobs <= 1) {
     ProgramCache programs;
+    programs.set_disk(disk.get());
     outcomes.reserve(opts.seeds);
     for (size_t i = 0; i < opts.seeds; ++i) {
       outcomes.push_back(
@@ -167,6 +160,7 @@ FuzzReport run_fuzz(const FuzzOptions& opts, std::ostream& log) {
     }
   } else {
     batch::ThreadPool pool(jobs);
+    pool.set_disk_cache(disk.get());
     outcomes = batch::run_batch<SeedOutcome>(
         pool, opts.seeds, [&](size_t job, batch::WorkerContext& ctx) {
           return eval_seed(opts, job, ctx.programs,

@@ -35,6 +35,11 @@ struct FuzzOptions {
   /// Planted refiner bug, for proving the oracles and reducer are live.
   InjectedBug inject = InjectedBug::None;
   uint64_t max_cycles = 5'000'000;
+  /// Execution tier for the equivalence oracle's simulations (`--exec-tier`;
+  /// interp-diff always cross-checks every tier). Unset = process default.
+  std::optional<ExecTier> exec_tier;
+  /// On-disk L2 program cache directory (`--cache-dir`); empty = no L2.
+  std::string cache_dir;
   /// Worker threads for the seed sweep (1 = serial in the calling thread,
   /// 0 = one per core). Seeds are independent jobs on a batch::ThreadPool;
   /// per-seed work (including reduction) runs concurrently, while file

@@ -12,6 +12,7 @@
 #include "sim/equivalence.h"
 #include "spec/builder.h"
 #include "spec/mutate.h"
+#include "telemetry/telemetry.h"
 
 namespace specsyn::fuzz {
 
@@ -204,17 +205,36 @@ OracleOutcome run_oracles(const Specification& spec, const OracleConfig& cfg,
                           const OracleOptions& opts) {
   OracleOutcome out;
 
+  // Per-oracle pass/fail tallies. A verdict is per-seed deterministic, so
+  // the merged totals are stable across --jobs values.
+  const auto tally = [&out](const char* oracle, size_t issues_before) {
+    if (!telemetry::enabled()) return;
+    telemetry::count(std::string("fuzz.oracle.") + oracle +
+                         (out.issues.size() > issues_before ? ".fail"
+                                                            : ".pass"),
+                     telemetry::Stability::Stable, 1);
+  };
+
   DiagnosticSink diags;
   if (!validate(spec, diags)) {
     add_issue(out, "generator", "spec does not validate: " + diags.str());
+    tally("generator", 0);
     return out;
   }
+  tally("generator", out.issues.size());
 
+  size_t before = out.issues.size();
   check_roundtrip(spec, "roundtrip", out);
+  tally("roundtrip", before);
+  before = out.issues.size();
   check_interp_diff(spec, "interp-diff", out, opts.max_cycles, opts.programs);
+  tally("interp-diff", before);
+  before = out.issues.size();
   check_analysis(spec, "analysis-original", out);
+  tally("analysis-original", before);
 
   Specification refined;
+  before = out.issues.size();
   try {
     AccessGraph graph = build_access_graph(spec);
     Partition part = build_partition(spec, graph, cfg);
@@ -226,6 +246,7 @@ OracleOutcome run_oracles(const Specification& spec, const OracleConfig& cfg,
     refined = std::move(refine(part, graph, rc).refined);
   } catch (const SpecError& e) {
     add_issue(out, "refiner", std::string("refine threw: ") + e.what());
+    tally("refiner", before);
     return out;
   }
 
@@ -237,22 +258,33 @@ OracleOutcome run_oracles(const Specification& spec, const OracleConfig& cfg,
   DiagnosticSink rd;
   if (!validate(refined, rd)) {
     add_issue(out, "refiner", "refined spec does not validate: " + rd.str());
+    tally("refiner", before);
     return out;
   }
+  tally("refiner", before);
 
+  before = out.issues.size();
   check_roundtrip(refined, "roundtrip-refined", out);
+  tally("roundtrip-refined", before);
+  before = out.issues.size();
   check_interp_diff(refined, "interp-diff-refined", out, opts.max_cycles,
                     opts.programs);
+  tally("interp-diff-refined", before);
 
   EquivalenceOptions eo;
   eo.config.max_cycles = opts.max_cycles;
+  if (opts.exec_tier) eo.config.exec_tier = *opts.exec_tier;
   eo.compare_write_traces = cfg.protocol == ProtocolStyle::FullHandshake;
   eo.parallel = opts.parallel_equivalence;
   eo.programs = opts.programs;
+  before = out.issues.size();
   const EquivalenceReport rep = check_equivalence(spec, refined, eo);
   if (!rep.equivalent) add_issue(out, "equivalence", rep.summary());
+  tally("equivalence", before);
 
+  before = out.issues.size();
   check_analysis(refined, "analysis-refined", out);
+  tally("analysis-refined", before);
   return out;
 }
 

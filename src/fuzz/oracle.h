@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,7 @@
 
 namespace specsyn {
 class ProgramCache;
+enum class ExecTier : uint8_t;
 }
 
 namespace specsyn::fuzz {
@@ -96,6 +98,9 @@ struct OracleOptions {
   /// the seed sweep itself is serial (`fuzz --jobs 1`); a parallel sweep
   /// already saturates the pool.
   bool parallel_equivalence = false;
+  /// Execution tier for the equivalence oracle's simulations (interp-diff
+  /// always runs every tier regardless). Unset = the process default tier.
+  std::optional<ExecTier> exec_tier;
 };
 
 /// Runs every oracle on `spec` (which must be valid — the first check) under

@@ -3,7 +3,7 @@
 #include <iomanip>
 #include <sstream>
 
-#include "obs/json_util.h"
+#include "support/json.h"
 
 namespace specsyn {
 

@@ -5,7 +5,7 @@
 #include <sstream>
 
 #include "obs/bus_trace.h"
-#include "obs/json_util.h"
+#include "support/json.h"
 #include "sim/program.h"
 #include "support/diagnostics.h"
 

@@ -10,6 +10,7 @@
 #include "refine/memory_gen.h"
 #include "refine/protocol.h"
 #include "spec/builder.h"
+#include "telemetry/telemetry.h"
 
 namespace specsyn {
 
@@ -54,6 +55,7 @@ uint32_t max_var_width(const Specification& spec) {
 
 RefineResult refine(const Partition& part, const AccessGraph& graph,
                     const RefineConfig& cfg) {
+  telemetry::Span tm_refine("refine", telemetry::Stability::Stable);
   const Specification& orig = part.spec();
   validate_or_throw(orig);
   check_procedures(orig);
@@ -64,7 +66,10 @@ RefineResult refine(const Partition& part, const AccessGraph& graph,
   ProtocolGen proto(cfg.protocol, amap.addr_type(), amap.data_type(), word_t);
 
   // -- 1. control-related refinement ----------------------------------------
-  ControlRefineResult ctrl = control_refine(part, cfg.leaf_scheme);
+  ControlRefineResult ctrl = [&] {
+    telemetry::Span span("refine.control", telemetry::Stability::Stable);
+    return control_refine(part, cfg.leaf_scheme);
+  }();
 
   // -- 2. data-related refinement -------------------------------------------
   // Master identity granularity: component-granular only when provably safe
@@ -83,30 +88,35 @@ RefineResult refine(const Partition& part, const AccessGraph& graph,
 
   MasterUse use;
   const size_t p = part.allocation().size();
-  for (size_t c = 0; c < p; ++c) {
-    ComponentTree& tree = ctrl.components[c];
-    const std::string comp_name = part.allocation().components[c].name;
-    if (tree.main) {
-      data_refine_tree(*tree.main, c, comp_name, orig, plan, amap, use,
-                       per_thread);
-    }
-    for (auto& server : tree.servers) {
-      data_refine_tree(*server, c, per_thread ? server->name : comp_name,
-                       orig, plan, amap, use, per_thread);
+  {
+    telemetry::Span span("refine.data", telemetry::Stability::Stable);
+    for (size_t c = 0; c < p; ++c) {
+      ComponentTree& tree = ctrl.components[c];
+      const std::string comp_name = part.allocation().components[c].name;
+      if (tree.main) {
+        data_refine_tree(*tree.main, c, comp_name, orig, plan, amap, use,
+                         per_thread);
+      }
+      for (auto& server : tree.servers) {
+        data_refine_tree(*server, c, per_thread ? server->name : comp_name,
+                         orig, plan, amap, use, per_thread);
+      }
     }
   }
 
   // -- 3. architecture-related refinement -----------------------------------
   std::vector<BehaviorPtr> interfaces;
-  for (const InterfacePlan& ip : plan.interfaces()) {
-    InterfaceBehaviors ib = generate_interfaces(ip, plan, amap, use);
-    if (ib.outbound) interfaces.push_back(std::move(ib.outbound));
-    if (ib.inbound) interfaces.push_back(std::move(ib.inbound));
-  }
-
   std::vector<BehaviorPtr> memories;
-  for (const MemoryModule& m : plan.memories()) {
-    memories.push_back(generate_memory(m, proto, amap, orig));
+  {
+    telemetry::Span span("refine.arch", telemetry::Stability::Stable);
+    for (const InterfacePlan& ip : plan.interfaces()) {
+      InterfaceBehaviors ib = generate_interfaces(ip, plan, amap, use);
+      if (ib.outbound) interfaces.push_back(std::move(ib.outbound));
+      if (ib.inbound) interfaces.push_back(std::move(ib.inbound));
+    }
+    for (const MemoryModule& m : plan.memories()) {
+      memories.push_back(generate_memory(m, proto, amap, orig));
+    }
   }
 
   // Procedures + arbitration: a bus with >= 2 masters is arbitrated, and its

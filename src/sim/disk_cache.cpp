@@ -2,12 +2,15 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <utility>
+
+#include "telemetry/telemetry.h"
 
 namespace specsyn {
 
@@ -53,18 +56,37 @@ std::string DiskProgramCache::key_hash(const std::string& key) {
 
 std::string DiskProgramCache::load(const std::string& key) {
   const std::string path = dir_ + "/" + key_hash(key) + ".sbc";
+  const bool tm = telemetry::enabled();
+  std::chrono::steady_clock::time_point t0;
+  if (tm) t0 = std::chrono::steady_clock::now();
+  bool existed = false;
   std::string file;
   {
     std::ifstream in(path, std::ios::binary);
     if (in) {
+      existed = true;
       std::ostringstream ss;
       ss << in.rdbuf();
       file = std::move(ss).str();
     }
   }
-  const auto miss = [this]() -> std::string {
+  if (tm) {
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    telemetry::observe(
+        "cache.l2.read_ns", telemetry::Stability::Time,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+  }
+  // A file that existed but fails any validation step below is corruption
+  // (truncation, bit rot, stale build): still a miss, but counted separately
+  // so operators can tell a cold cache from a rotting one.
+  const auto miss = [this, existed]() -> std::string {
+    SPECSYN_TM_COUNT("cache.l2.miss", telemetry::Stability::Sched, 1);
+    if (existed)
+      SPECSYN_TM_COUNT("cache.l2.corrupt", telemetry::Stability::Sched, 1);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.misses;
+    if (existed) ++stats_.corrupt;
     return {};
   };
   if (file.size() < kHeaderSize) return miss();
@@ -84,6 +106,7 @@ std::string DiskProgramCache::load(const std::string& key) {
   }
   std::string payload = file.substr(kHeaderSize + key_size);
   if (fnv1a(payload.data(), payload.size()) != payload_fnv) return miss();
+  SPECSYN_TM_COUNT("cache.l2.hit", telemetry::Stability::Sched, 1);
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.hits;
   return payload;
@@ -114,6 +137,9 @@ void DiskProgramCache::store(const std::string& key,
     std::lock_guard<std::mutex> lock(mu_);
     serial = tmp_counter_++;
   }
+  const bool tm = telemetry::enabled();
+  std::chrono::steady_clock::time_point t0;
+  if (tm) t0 = std::chrono::steady_clock::now();
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);  // best effort
   const std::string stem = dir_ + "/" + key_hash(key);
@@ -135,6 +161,14 @@ void DiskProgramCache::store(const std::string& key,
   if (ec) {
     std::filesystem::remove(tmp, ec);
     return;
+  }
+  if (tm) {
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    telemetry::observe(
+        "cache.l2.write_ns", telemetry::Stability::Time,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+    telemetry::count("cache.l2.store", telemetry::Stability::Sched, 1);
   }
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.stores;

@@ -43,9 +43,11 @@ class DiskProgramCache {
   void store(const std::string& key, const std::string& payload);
 
   struct Stats {
-    uint64_t hits = 0;    // loads that returned a validated payload
-    uint64_t misses = 0;  // absent, unreadable or corrupted entries
-    uint64_t stores = 0;  // successful publishes
+    uint64_t hits = 0;     // loads that returned a validated payload
+    uint64_t misses = 0;   // absent, unreadable or corrupted entries
+    uint64_t corrupt = 0;  // the subset of misses where a file existed but
+                           // failed header/key/checksum validation
+    uint64_t stores = 0;   // successful publishes
   };
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] const std::string& dir() const { return dir_; }

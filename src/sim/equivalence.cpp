@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "sim/program_cache.h"
+#include "telemetry/telemetry.h"
 
 namespace specsyn {
 
@@ -32,6 +33,7 @@ std::string EquivalenceReport::summary() const {
 EquivalenceReport check_equivalence(const Specification& original,
                                     const Specification& refined,
                                     const EquivalenceOptions& opts) {
+  telemetry::Span tm_span("equivalence", telemetry::Stability::Stable);
   EquivalenceReport report;
 
   const auto run_one = [&opts](const Specification& s) {

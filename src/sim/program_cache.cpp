@@ -6,6 +6,7 @@
 #include "sim/bytecode.h"
 #include "sim/disk_cache.h"
 #include "sim/program.h"
+#include "telemetry/telemetry.h"
 
 namespace specsyn {
 
@@ -48,6 +49,7 @@ std::shared_ptr<const CachedProgram> ProgramCache::get(
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
       ++stats_.hits;
+      SPECSYN_TM_COUNT("cache.l1.hit", telemetry::Stability::Sched, 1);
       return it->second->cached;
     }
     disk = disk_;
@@ -75,9 +77,15 @@ std::shared_ptr<const CachedProgram> ProgramCache::get(
         cached->bytecode = BytecodeProgram::deserialize(
             image, *clone, vars.size(), signals.size());
         disk_hit = cached->bytecode != nullptr;
+        // Checksum-valid image that still fails structural validation
+        // (e.g. an incompatible serialization from a different build).
+        if (!disk_hit)
+          SPECSYN_TM_COUNT("cache.l2.deserialize_fallback",
+                           telemetry::Stability::Sched, 1);
       }
     }
     if (!cached->bytecode) {
+      telemetry::Span span("bytecode_compile", telemetry::Stability::Sched);
       cached->bytecode = BytecodeProgram::compile(*clone, vars, signals);
       if (disk != nullptr) {
         disk->store(key, cached->bytecode->serialize());
@@ -85,6 +93,7 @@ std::shared_ptr<const CachedProgram> ProgramCache::get(
       }
     }
   } else {
+    telemetry::Span span("lower", telemetry::Stability::Sched);
     cached->program = Program::compile(*clone, vars, signals);
   }
   cached->source = std::move(clone);
@@ -102,15 +111,18 @@ std::shared_ptr<const CachedProgram> ProgramCache::get(
   if (it != index_.end()) {  // racing thread inserted first; reuse its entry
     lru_.splice(lru_.begin(), lru_, it->second);
     ++stats_.hits;
+    SPECSYN_TM_COUNT("cache.l1.hit", telemetry::Stability::Sched, 1);
     return it->second->cached;
   }
   ++stats_.misses;
+  SPECSYN_TM_COUNT("cache.l1.miss", telemetry::Stability::Sched, 1);
   lru_.push_front(Entry{key, cached});
   index_.emplace(std::move(key), lru_.begin());
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
+    SPECSYN_TM_COUNT("cache.l1.evict", telemetry::Stability::Sched, 1);
   }
   return cached;
 }

@@ -10,6 +10,7 @@
 #include "sim/frames.h"
 #include "sim/program.h"
 #include "sim/program_cache.h"
+#include "telemetry/telemetry.h"
 
 namespace specsyn {
 
@@ -77,6 +78,7 @@ Simulator::Simulator(const Specification& spec, SimConfig cfg,
       cached_ = programs->get(spec_, cfg_);
       prog_ = cached_->program;
     } else {
+      telemetry::Span span("lower", telemetry::Stability::Sched);
       prog_ = Program::compile(spec_, vars_, signals_);
     }
     ops_base_ = prog_->ops().data();
@@ -87,6 +89,7 @@ Simulator::Simulator(const Specification& spec, SimConfig cfg,
       cached_ = programs->get(spec_, cfg_);
       bprog_ = cached_->bytecode;
     } else {
+      telemetry::Span span("bytecode_compile", telemetry::Stability::Sched);
       bprog_ = BytecodeProgram::compile(spec_, vars_, signals_);
     }
     bcode_ = bprog_->code().data();
@@ -129,6 +132,11 @@ void Simulator::reset() {
   steps_ = 0;
   ran_ = false;
   root_ = nullptr;
+#ifdef SPECSYN_OPCODE_STATS
+  op_counts_.fill(0);
+  op_pair_counts_.fill(0);
+  op_prev_ = kOpStatNone;
+#endif
 }
 
 void Simulator::add_observer(SimObserver* obs) { observers_.push_back(obs); }
@@ -254,6 +262,7 @@ void Simulator::finish_process(Process& p, uint64_t time) {
 SimResult Simulator::run() {
   if (ran_) throw SpecError("Simulator::run may only be called once");
   ran_ = true;
+  telemetry::Span tm_span("simulate", telemetry::Stability::Stable);
 
   SimResult result;
   if (!slot_observers_.empty()) {
@@ -369,6 +378,40 @@ SimResult Simulator::run() {
   } else {
     result.behavior_completions = behavior_completions_;
   }
+  if (telemetry::enabled()) {
+    // All three are per-run deterministic: identical inputs yield identical
+    // step/cycle totals regardless of --jobs or tier-internal scheduling.
+    telemetry::count("sim.runs", telemetry::Stability::Stable, 1);
+    telemetry::count("sim.steps", telemetry::Stability::Stable, steps_);
+    telemetry::count("sim.cycles", telemetry::Stability::Stable, now_);
+#ifdef SPECSYN_OPCODE_STATS
+    static_assert(kBOpCount <= 64);
+    for (uint8_t i = 0; i < kBOpCount; ++i) {
+      if (op_counts_[i] != 0) {
+        telemetry::count(std::string("bc.op.") + bop_name(BOp{i}),
+                         telemetry::Stability::Stable, op_counts_[i]);
+      }
+    }
+    for (uint16_t p = 0; p < kBOpCount; ++p) {
+      for (uint16_t c = 0; c < kBOpCount; ++c) {
+        const uint64_t n = op_pair_counts_[p * 64u + c];
+        if (n != 0) {
+          telemetry::count(std::string("bc.pair.") +
+                               bop_name(BOp{static_cast<uint8_t>(p)}) + ">" +
+                               bop_name(BOp{static_cast<uint8_t>(c)}),
+                           telemetry::Stability::Stable, n);
+        }
+      }
+    }
+#endif
+  }
+#ifdef SPECSYN_OPCODE_STATS
+  // Cleared unconditionally so pooled construct-once/reset() reuse starts
+  // every run from zero whether or not the last run flushed.
+  op_counts_.fill(0);
+  op_pair_counts_.fill(0);
+  op_prev_ = kOpStatNone;
+#endif
   return result;
 }
 

@@ -1,0 +1,306 @@
+// Tests for the pipeline telemetry layer (src/telemetry) and the shared JSON
+// emission layer (src/support/json.h) it exports through.
+//
+// Telemetry state is process-global, so every fixture enables collection in
+// SetUp and fully disables + clears it in TearDown — tests must stay clean
+// under any gtest execution order.
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "batch/thread_pool.h"
+#include "sim/disk_cache.h"
+#include "sim/program_cache.h"
+#include "sim/simulator.h"
+#include "support/json.h"
+#include "telemetry/telemetry.h"
+#include "workloads/medical.h"
+
+namespace specsyn {
+namespace {
+
+namespace fs = std::filesystem;
+namespace tm = specsyn::telemetry;
+
+uint64_t counter_value(const tm::Snapshot& snap, const std::string& name) {
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second.value;
+}
+
+// ---------------------------------------------------------------------------
+// support/json.h
+
+TEST(JsonWriter, CompactObjectWithNesting) {
+  std::string out;
+  JsonWriter w(&out);
+  w.begin_object()
+      .kv("name", "x")
+      .kv("n", 3)
+      .key("list")
+      .begin_array()
+      .value(1)
+      .value(2)
+      .end_array()
+      .key("empty")
+      .begin_object()
+      .end_object()
+      .end_object();
+  EXPECT_EQ(out, R"({"name":"x","n":3,"list":[1,2],"empty":{}})");
+}
+
+TEST(JsonWriter, PrettyPrintingIndentsPerLevel) {
+  std::string out;
+  JsonWriter w(&out, 2);
+  w.begin_object().kv("a", 1).key("b").begin_array().value(true).end_array()
+      .end_object();
+  EXPECT_EQ(out, "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}");
+}
+
+TEST(JsonWriter, ValueTypesRenderCanonically) {
+  std::string out;
+  JsonWriter w(&out);
+  w.begin_array()
+      .value(false)
+      .value(static_cast<uint64_t>(1) << 40)
+      .value(-7)
+      .value(2.5, 1)
+      .value("quote \" here")
+      .end_array();
+  EXPECT_EQ(out, R"([false,1099511627776,-7,2.5,"quote \" here"])");
+}
+
+TEST(JsonEscape, ControlCharactersEscape) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("l1\nl2\tend\r"), "l1\\nl2\\tend\\r");
+  EXPECT_EQ(json_escape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(json_escape("plain text"), "plain text");
+}
+
+// ---------------------------------------------------------------------------
+// telemetry registry
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tm::enable(true, true);
+    tm::reset();
+  }
+  void TearDown() override {
+    tm::enable(false, false);
+    tm::reset();
+  }
+};
+
+TEST_F(TelemetryTest, DisabledCollectionRecordsNothing) {
+  tm::enable(false, false);
+  tm::reset();
+  EXPECT_FALSE(tm::enabled());
+  SPECSYN_TM_COUNT("t.counter", tm::Stability::Stable, 5);
+  SPECSYN_TM_OBSERVE("t.hist", tm::Stability::Stable, 8);
+  { tm::Span span("t.span", tm::Stability::Stable); }
+  const tm::Snapshot snap = tm::snapshot();
+  EXPECT_EQ(snap.counters.count("t.counter"), 0u);
+  EXPECT_EQ(snap.histograms.count("t.hist"), 0u);
+  EXPECT_EQ(snap.spans.count("t.span"), 0u);
+}
+
+TEST_F(TelemetryTest, CountersAccumulateWithStability) {
+  tm::count("t.a", tm::Stability::Stable, 2);
+  tm::count("t.a", tm::Stability::Stable, 3);
+  tm::count("t.b", tm::Stability::Sched, 1);
+  const tm::Snapshot snap = tm::snapshot();
+  EXPECT_EQ(counter_value(snap, "t.a"), 5u);
+  EXPECT_EQ(snap.counters.at("t.a").stability, tm::Stability::Stable);
+  EXPECT_EQ(snap.counters.at("t.b").stability, tm::Stability::Sched);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsByBitWidth) {
+  for (const uint64_t v : {0ull, 1ull, 1ull, 6ull, 6ull, 6ull, 1000ull}) {
+    tm::observe("t.h", tm::Stability::Stable, v);
+  }
+  const tm::Snapshot snap = tm::snapshot();
+  const tm::HistogramData& h = snap.histograms.at("t.h");
+  EXPECT_EQ(h.count, 7u);
+  EXPECT_EQ(h.sum, 1020u);
+  EXPECT_EQ(h.min, 0u);
+  EXPECT_EQ(h.max, 1000u);
+  EXPECT_EQ(h.buckets[0], 1u);   // exact zeros
+  EXPECT_EQ(h.buckets[1], 2u);   // value 1
+  EXPECT_EQ(h.buckets[3], 3u);   // value 6 (bit width 3)
+  EXPECT_EQ(h.buckets[10], 1u);  // value 1000 (bit width 10)
+}
+
+TEST_F(TelemetryTest, SpansAggregateAndEmitTraceEvents) {
+  { tm::Span span("t.phase", tm::Stability::Stable, "first"); }
+  { tm::Span span("t.phase", tm::Stability::Stable); }
+  const tm::Snapshot snap = tm::snapshot();
+  const tm::SpanAggregate& agg = snap.spans.at("t.phase");
+  EXPECT_EQ(agg.count, 2u);
+  EXPECT_EQ(agg.total_ns, agg.min_ns + agg.max_ns);  // exactly two samples
+  EXPECT_LE(agg.min_ns, agg.max_ns);
+
+  size_t events = 0;
+  bool saw_detail = false;
+  for (const tm::Lane& lane : snap.lanes) {
+    for (const tm::SpanEvent& e : lane.events) {
+      if (std::string(e.name) == "t.phase") {
+        ++events;
+        saw_detail |= e.detail == "first";
+      }
+    }
+  }
+  EXPECT_EQ(events, 2u);
+  EXPECT_TRUE(saw_detail);
+}
+
+TEST_F(TelemetryTest, StatsJsonIsSchemaShapedAndTableRenders) {
+  tm::count("t.stable", tm::Stability::Stable, 1);
+  tm::count("t.timey", tm::Stability::Time, 9);
+  tm::observe("t.h", tm::Stability::Sched, 3);
+  { tm::Span span("t.phase", tm::Stability::Stable); }
+  const tm::Snapshot snap = tm::snapshot();
+
+  const std::string json = tm::stats_to_json(snap, "test");
+  EXPECT_NE(json.find("\"schema\": \"specsyn-stats-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"command\": \"test\""), std::string::npos);
+  EXPECT_NE(json.find("\"t.stable\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"t.timey\": 9"), std::string::npos);
+
+  const std::string table = tm::render_stats_table(snap);
+  EXPECT_NE(table.find("t.stable"), std::string::npos);
+  EXPECT_NE(table.find("t.phase"), std::string::npos);
+
+  const std::string trace = tm::trace_to_chrome_json(snap);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"t.phase\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// DiskProgramCache counters: cold miss -> warm hit -> corruption fallback
+
+class TelemetryDiskCacheTest : public TelemetryTest {
+ protected:
+  void SetUp() override {
+    TelemetryTest::SetUp();
+    dir_ = fs::temp_directory_path() / "specsyn_tm_cache_test";
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+    TelemetryTest::TearDown();
+  }
+
+  void truncate_all_files() const {
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      std::error_code ec;
+      fs::resize_file(entry.path(), fs::file_size(entry.path()) / 2, ec);
+      ASSERT_FALSE(ec);
+    }
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(TelemetryDiskCacheTest, L2CountersAcrossColdWarmAndTruncated) {
+  const Specification spec = make_medical_system();
+  SimConfig cfg;
+  cfg.exec_tier = ExecTier::Bytecode;
+  DiskProgramCache disk(dir_.string());
+
+  // Cold: L1 and L2 both miss, the image is compiled and published.
+  {
+    ProgramCache l1;
+    l1.set_disk(&disk);
+    Simulator(spec, cfg, &l1).run();
+  }
+  tm::Snapshot snap = tm::snapshot();
+  EXPECT_EQ(counter_value(snap, "cache.l2.hit"), 0u);
+  EXPECT_EQ(counter_value(snap, "cache.l2.miss"), 1u);
+  EXPECT_EQ(counter_value(snap, "cache.l2.corrupt"), 0u);
+  EXPECT_EQ(counter_value(snap, "cache.l2.store"), 1u);
+  EXPECT_EQ(counter_value(snap, "cache.l1.miss"), 1u);
+  EXPECT_GE(snap.histograms.at("cache.l2.write_ns").count, 1u);
+
+  // Warm: a fresh L1 loads the published image instead of compiling.
+  tm::reset();
+  {
+    ProgramCache l1;
+    l1.set_disk(&disk);
+    Simulator(spec, cfg, &l1).run();
+  }
+  snap = tm::snapshot();
+  EXPECT_EQ(counter_value(snap, "cache.l2.hit"), 1u);
+  EXPECT_EQ(counter_value(snap, "cache.l2.miss"), 0u);
+  EXPECT_EQ(counter_value(snap, "cache.l2.store"), 0u);
+  EXPECT_GE(snap.histograms.at("cache.l2.read_ns").count, 1u);
+
+  // Truncated image: validation fails, the miss is flagged corrupt, the
+  // run falls back to a compile and re-publishes a good image.
+  tm::reset();
+  truncate_all_files();
+  {
+    ProgramCache l1;
+    l1.set_disk(&disk);
+    Simulator(spec, cfg, &l1).run();
+  }
+  snap = tm::snapshot();
+  EXPECT_EQ(counter_value(snap, "cache.l2.hit"), 0u);
+  EXPECT_EQ(counter_value(snap, "cache.l2.miss"), 1u);
+  EXPECT_EQ(counter_value(snap, "cache.l2.corrupt"), 1u);
+  EXPECT_EQ(counter_value(snap, "cache.l2.store"), 1u);
+  EXPECT_EQ(disk.stats().corrupt, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-pool counters under a parallel batch
+
+TEST_F(TelemetryTest, PoolCountersSumAcrossEightWorkers) {
+  constexpr size_t kJobs = 64;
+  constexpr size_t kWorkers = 8;
+  std::atomic<uint64_t> side{0};
+  {
+    batch::ThreadPool pool(kWorkers);
+    batch::run_batch<int>(pool, kJobs,
+                          [&](size_t job, batch::WorkerContext&) {
+                            tm::Span span("t.job", tm::Stability::Stable);
+                            side.fetch_add(job, std::memory_order_relaxed);
+                            return static_cast<int>(job);
+                          });
+  }
+  EXPECT_EQ(side.load(), kJobs * (kJobs - 1) / 2);
+
+  const tm::Snapshot snap = tm::snapshot();
+  EXPECT_EQ(counter_value(snap, "pool.jobs"), kJobs);
+  uint64_t per_worker = 0;
+  size_t workers_seen = 0;
+  for (size_t w = 0; w < kWorkers; ++w) {
+    const std::string name = "pool.worker." + std::to_string(w) + ".jobs";
+    const auto it = snap.counters.find(name);
+    if (it == snap.counters.end()) continue;
+    ++workers_seen;
+    per_worker += it->second.value;
+    EXPECT_EQ(it->second.stability, tm::Stability::Sched);
+  }
+  // Per-worker attribution covers every job exactly once, however the
+  // scheduler spread them.
+  EXPECT_EQ(per_worker, kJobs);
+  EXPECT_GE(workers_seen, 1u);
+  EXPECT_EQ(snap.histograms.at("pool.queue_depth").count, kJobs);
+  EXPECT_EQ(snap.spans.at("t.job").count, kJobs);
+
+  // Every worker that executed a job shows up as a trace lane (each job
+  // recorded a span event on its worker's shard).
+  size_t worker_lanes = 0;
+  for (const tm::Lane& lane : snap.lanes) {
+    if (lane.name.rfind("worker ", 0) == 0) ++worker_lanes;
+  }
+  EXPECT_GE(worker_lanes, workers_seen);
+}
+
+}  // namespace
+}  // namespace specsyn

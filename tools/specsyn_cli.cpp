@@ -63,9 +63,17 @@
 //   --json FILE            write the machine-readable report to FILE
 //   --inject-bug done|data plant a known refiner bug (oracle self-test)
 //   --max-cycles N         per-simulation bound (default 5000000)
+//   --exec-tier T ; --cache-dir DIR   as for simulate (equivalence oracle)
+//
+// global options (every subcommand):
+//   --stats                print the telemetry summary table on stderr
+//   --stats-json FILE      write the telemetry stats JSON (specsyn-stats-v1)
+//   --pipeline-trace FILE  write a Perfetto-loadable Chrome trace of the
+//                          tool's own pipeline phases (one lane per worker)
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -93,6 +101,7 @@
 #include "sim/equivalence.h"
 #include "sim/program_cache.h"
 #include "sim/vcd.h"
+#include "telemetry/telemetry.h"
 
 using namespace specsyn;
 
@@ -177,6 +186,27 @@ fuzz options:
   --json FILE            write the machine-readable report to FILE
   --inject-bug done|data plant a known refiner bug (oracle self-test)
   --max-cycles N         per-simulation bound (default 5000000)
+  --exec-tier T ; --cache-dir DIR   as for simulate (used by the
+                         equivalence oracle's simulations)
+
+global options (accepted by every subcommand):
+  --stats                print the telemetry summary table (counters,
+                         histograms, per-phase span totals) on stderr
+  --stats-json FILE      write the telemetry stats as JSON (schema
+                         specsyn-stats-v1; the "stable" sections are
+                         byte-identical across --jobs values — see
+                         tools/check_stats_json.py --strip)
+  --pipeline-trace FILE  write a Perfetto-loadable Chrome trace of the
+                         tool's own pipeline phases (parse, refine, price,
+                         check, lower, simulate, equivalence ...) with one
+                         lane per worker thread
+  --exec-tier T          execution tier (tree | lowered | bytecode);
+                         --no-lowering is a deprecated alias for
+                         --exec-tier tree
+  --cache-dir DIR        persistent on-disk bytecode cache
+
+telemetry never changes the bytes of any primary output: stats go to stderr
+or to the named files only.
 )");
   return 0;
 }
@@ -188,6 +218,101 @@ bool read_file(const std::string& path, std::string& out) {
   ss << in.rdbuf();
   out = ss.str();
   return true;
+}
+
+/// Options accepted uniformly by every subcommand (including `fuzz`, which
+/// runs its own option loop). One parser, two call sites — the help text and
+/// the behavior cannot drift apart per subcommand again.
+struct GlobalOpts {
+  bool stats = false;
+  std::string stats_json_file;
+  std::string pipeline_trace_file;
+  std::optional<ExecTier> exec_tier;  // unset = process default
+  std::string cache_dir;
+
+  [[nodiscard]] bool stats_requested() const {
+    return stats || !stats_json_file.empty();
+  }
+  [[nodiscard]] bool trace_requested() const {
+    return !pipeline_trace_file.empty();
+  }
+};
+
+/// Tries to consume `f` as a global option. Returns 1 when consumed, 0 when
+/// `f` is not a global option, -1 on a malformed value (error already
+/// printed). `next` yields the following argv word or nullptr.
+template <typename NextFn>
+int parse_global_flag(const std::string& f, NextFn&& next, GlobalOpts& g) {
+  if (f == "--stats") {
+    g.stats = true;
+    return 1;
+  }
+  if (f == "--stats-json") {
+    const char* v = next();
+    if (!v) return -1;
+    g.stats_json_file = v;
+    return 1;
+  }
+  if (f == "--pipeline-trace") {
+    const char* v = next();
+    if (!v) return -1;
+    g.pipeline_trace_file = v;
+    return 1;
+  }
+  if (f == "--exec-tier") {
+    const char* v = next();
+    if (!v) return -1;
+    ExecTier tier;
+    if (!parse_exec_tier(v, &tier)) {
+      std::fprintf(stderr, "--exec-tier must be tree, lowered or bytecode\n");
+      return -1;
+    }
+    g.exec_tier = tier;
+    return 1;
+  }
+  if (f == "--no-lowering") {
+    std::fprintf(stderr,
+                 "warning: --no-lowering is deprecated; use --exec-tier "
+                 "tree\n");
+    g.exec_tier = ExecTier::Tree;
+    return 1;
+  }
+  if (f == "--cache-dir") {
+    const char* v = next();
+    if (!v) return -1;
+    g.cache_dir = v;
+    return 1;
+  }
+  return 0;
+}
+
+/// Emits the requested telemetry outputs. Called once, after the subcommand
+/// finished — the summary table goes to stderr, JSON documents to their
+/// files, so primary stdout/-o output is never touched. Returns nonzero if
+/// a requested file could not be written.
+int finish_telemetry(const GlobalOpts& g, const std::string& command) {
+  if (!telemetry::enabled()) return 0;
+  const telemetry::Snapshot snap = telemetry::snapshot();
+  if (g.stats) std::fputs(telemetry::render_stats_table(snap).c_str(), stderr);
+  int rc = 0;
+  const auto write_doc = [&](const std::string& path, std::string doc,
+                             const char* what) {
+    if (path.empty()) return;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      rc = 1;
+      return;
+    }
+    out << doc;
+    std::fprintf(stderr, "wrote %s (%s, %zu bytes)\n", path.c_str(), what,
+                 doc.size());
+  };
+  write_doc(g.stats_json_file, telemetry::stats_to_json(snap, command),
+            "stats");
+  write_doc(g.pipeline_trace_file, telemetry::trace_to_chrome_json(snap),
+            "pipeline trace");
+  return rc;
 }
 
 struct Args {
@@ -205,6 +330,7 @@ struct Args {
   bool json = false;
   ExecTier exec_tier = default_exec_tier();
   std::string cache_dir;
+  GlobalOpts global;
   bool metrics = false;
   uint64_t max_cycles = 0;  // 0 => SimConfig default
   double clock_hz = 0.0;    // 0 => SimConfig default
@@ -241,6 +367,10 @@ int parse_args(int argc, char** argv, Args& a) {
       }
       return argv[++i];
     };
+    if (const int g = parse_global_flag(f, next, a.global); g != 0) {
+      if (g < 0) return 2;
+      continue;
+    }
     if (f == "--model") {
       const char* v = next();
       if (!v) return 2;
@@ -277,23 +407,6 @@ int parse_args(int argc, char** argv, Args& a) {
       a.verify = true;
     } else if (f == "--json") {
       a.json = true;
-    } else if (f == "--exec-tier") {
-      const char* v = next();
-      if (!v) return 2;
-      if (!parse_exec_tier(v, &a.exec_tier)) {
-        std::fprintf(stderr,
-                     "--exec-tier must be tree, lowered or bytecode\n");
-        return 2;
-      }
-    } else if (f == "--no-lowering") {
-      std::fprintf(stderr,
-                   "warning: --no-lowering is deprecated; use --exec-tier "
-                   "tree\n");
-      a.exec_tier = ExecTier::Tree;
-    } else if (f == "--cache-dir") {
-      const char* v = next();
-      if (!v) return 2;
-      a.cache_dir = v;
     } else if (f == "--vcd") {
       const char* v = next();
       if (!v) return 2;
@@ -361,6 +474,8 @@ int parse_args(int argc, char** argv, Args& a) {
       return 2;
     }
   }
+  if (a.global.exec_tier) a.exec_tier = *a.global.exec_tier;
+  a.cache_dir = a.global.cache_dir;
   return 0;
 }
 
@@ -610,9 +725,12 @@ int cmd_sweep(const Args& a, const Specification& spec) {
   return write_output(a, a.json ? rep.json() : rep.table());
 }
 
-// `fuzz` takes no input file, so it parses its own options.
+// `fuzz` takes no input file, so it parses its own options. Global options
+// (--stats*, --pipeline-trace, --exec-tier, --cache-dir) go through the same
+// parse_global_flag as every other subcommand.
 int cmd_fuzz(int argc, char** argv) {
   fuzz::FuzzOptions opts;
+  GlobalOpts global;
   std::string json_file;
   for (int i = 2; i < argc; ++i) {
     const std::string f = argv[i];
@@ -623,6 +741,10 @@ int cmd_fuzz(int argc, char** argv) {
       }
       return argv[++i];
     };
+    if (const int g = parse_global_flag(f, next, global); g != 0) {
+      if (g < 0) return 2;
+      continue;
+    }
     if (f == "--seeds") {
       const char* v = next();
       if (!v) return 2;
@@ -677,24 +799,30 @@ int cmd_fuzz(int argc, char** argv) {
     std::fprintf(stderr, "--seeds expects a positive count\n");
     return 2;
   }
+  opts.exec_tier = global.exec_tier;
+  opts.cache_dir = global.cache_dir;
+  telemetry::enable(global.stats_requested(), global.trace_requested());
   const fuzz::FuzzReport report = fuzz::run_fuzz(opts, std::cout);
+  int rc = report.ok() ? 0 : 1;
   if (!json_file.empty()) {
     std::ofstream out(json_file, std::ios::binary | std::ios::trunc);
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", json_file.c_str());
-      return 1;
+      rc = 1;
+    } else {
+      out << report.json();
+      std::fprintf(stderr, "wrote %s\n", json_file.c_str());
     }
-    out << report.json();
-    std::fprintf(stderr, "wrote %s\n", json_file.c_str());
   }
   if (opts.inject != fuzz::InjectedBug::None &&
       report.injections_applied == 0) {
     std::fprintf(stderr,
                  "fuzz: --inject-bug %s never found an applicable site\n",
                  fuzz::to_string(opts.inject));
-    return 1;
+    rc = 1;
   }
-  return report.ok() ? 0 : 1;
+  if (const int trc = finish_telemetry(global, "fuzz"); rc == 0) rc = trc;
+  return rc;
 }
 
 }  // namespace
@@ -709,9 +837,11 @@ int main(int argc, char** argv) {
     }
   }
   Args a;
-  const int rc = parse_args(argc, argv, a);
-  if (rc == -1) return help();
-  if (rc != 0) return rc;
+  const int prc = parse_args(argc, argv, a);
+  if (prc == -1) return help();
+  if (prc != 0) return prc;
+
+  telemetry::enable(a.global.stats_requested(), a.global.trace_requested());
 
   std::string text;
   if (!read_file(a.file, text)) {
@@ -719,13 +849,22 @@ int main(int argc, char** argv) {
     return 1;
   }
   DiagnosticSink diags;
-  auto parsed = parse_spec(text, diags);
+  std::optional<Specification> parsed;
+  {
+    telemetry::Span span("parse", telemetry::Stability::Stable);
+    parsed = parse_spec(text, diags);
+  }
   if (!parsed) {
     std::fprintf(stderr, "%s", diags.str().c_str());
     return 1;
   }
   Specification spec = std::move(*parsed);
-  if (!validate(spec, diags)) {
+  bool valid;
+  {
+    telemetry::Span span("validate", telemetry::Stability::Stable);
+    valid = validate(spec, diags);
+  }
+  if (!valid) {
     std::fprintf(stderr, "%s", diags.str().c_str());
     return 1;
   }
@@ -733,23 +872,37 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s", diags.str().c_str());  // warnings
   }
 
+  int rc = 2;
+  bool dispatched = true;
   try {
-    if (a.command == "check") return cmd_check(a, spec);
-    if (a.command == "print") return write_output(a, print(spec));
-    if (a.command == "simulate") return cmd_simulate(a, spec);
-    if (a.command == "graph") {
+    if (a.command == "check") {
+      rc = cmd_check(a, spec);
+    } else if (a.command == "print") {
+      rc = write_output(a, print(spec));
+    } else if (a.command == "simulate") {
+      rc = cmd_simulate(a, spec);
+    } else if (a.command == "graph") {
       AccessGraph graph = build_access_graph(spec);
       if (!a.assigns.empty() || !a.ratio.empty()) {
         Partition part = build_partition(a, spec, graph);
-        return write_output(a, to_dot(graph, part));
+        rc = write_output(a, to_dot(graph, part));
+      } else {
+        rc = write_output(a, to_dot(graph));
       }
-      return write_output(a, to_dot(graph));
+    } else if (a.command == "refine") {
+      rc = cmd_refine(a, spec);
+    } else if (a.command == "sweep") {
+      rc = cmd_sweep(a, spec);
+    } else {
+      dispatched = false;
     }
-    if (a.command == "refine") return cmd_refine(a, spec);
-    if (a.command == "sweep") return cmd_sweep(a, spec);
   } catch (const SpecError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  return usage();
+  if (!dispatched) return usage();
+  if (const int trc = finish_telemetry(a.global, a.command); rc == 0) {
+    rc = trc;
+  }
+  return rc;
 }
