@@ -563,6 +563,13 @@ std::string Finding::str() const {
   }
   out += ": ";
   out += message;
+  if (!witness.empty()) {
+    out += "\n  witness: ";
+    out += witness;
+    out += "  (replay: specsyn simulate <spec> --replay-witness '";
+    out += witness;
+    out += "')";
+  }
   return out;
 }
 
@@ -591,6 +598,11 @@ void Report::to_sink(DiagnosticSink& sink) const {
     }
     msg += ": ";
     msg += f.message;
+    if (!f.witness.empty()) {
+      msg += " [witness: ";
+      msg += f.witness;
+      msg += ']';
+    }
     switch (f.severity) {
       case Severity::Note: sink.note(std::move(msg)); break;
       case Severity::Warning: sink.warning(std::move(msg)); break;
@@ -600,7 +612,7 @@ void Report::to_sink(DiagnosticSink& sink) const {
 }
 
 std::string Report::json(const std::string& spec_name) const {
-  std::string out = "{\n  \"spec\": \"";
+  std::string out = "{\n  \"schema\": \"specsyn-check-v1\",\n  \"spec\": \"";
   append_json_escaped(out, spec_name);
   out += "\",\n  \"errors\": " + std::to_string(count(Severity::Error));
   out += ",\n  \"warnings\": " + std::to_string(count(Severity::Warning));
@@ -616,9 +628,23 @@ std::string Report::json(const std::string& spec_name) const {
     append_json_escaped(out, f.behavior);
     out += "\", \"message\": \"";
     append_json_escaped(out, f.message);
+    out += "\", \"witness\": \"";
+    append_json_escaped(out, f.witness);
     out += "\"}";
   }
-  out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  out += findings.empty() ? "]" : "\n  ]";
+  if (schedules.ran) {
+    out += ",\n  \"schedules\": {\"explored\": ";
+    out += std::to_string(schedules.explored);
+    out += ", \"pruned\": ";
+    out += std::to_string(schedules.pruned);
+    out += ", \"divergent\": ";
+    out += std::to_string(schedules.divergent);
+    out += ", \"complete\": ";
+    out += schedules.complete ? "true" : "false";
+    out += "}";
+  }
+  out += "\n}\n";
   return out;
 }
 

@@ -21,6 +21,15 @@
 //                          SA051 control start pulsed by != 1 stub
 //                          SA052 control handshake not 4-phase
 //
+// One dynamic checker can be appended behind `specsyn check
+// --explore-schedules` (check_schedules below): bounded schedule exploration
+// over the simulator's SchedPolicy seam, emitting
+//
+//   schedules              SA021 schedule-sensitive observable outcome
+//
+// with a replayable witness attached to the SA021 (and to the SA020s that
+// predicted the race) — see src/analysis/schedules/explore.h.
+//
 // A clean report on a refined model is the static half of the paper's
 // functional-equivalence claim; the dynamic half stays in sim/equivalence.
 #pragma once
@@ -28,8 +37,13 @@
 #include <string>
 #include <vector>
 
+#include "sim/simulator.h"
 #include "spec/specification.h"
 #include "support/diagnostics.h"
+
+namespace specsyn::batch {
+class ThreadPool;
+}  // namespace specsyn::batch
 
 namespace specsyn::analysis {
 
@@ -38,12 +52,28 @@ struct Finding {
   Severity severity = Severity::Error;
   std::string behavior;         ///< hierarchy path, may be empty
   std::string message;
+  /// Replayable schedule witness ("picks:..." form, sim/sched.h), attached
+  /// by schedule exploration; empty for purely static findings. Feed it to
+  /// `specsyn simulate --replay-witness` to reproduce the divergent run.
+  std::string witness;
 
   [[nodiscard]] std::string str() const;
 };
 
+/// Summary of a schedule-exploration pass, carried on the Report so the
+/// --json document (and the text footer) can show coverage next to the
+/// findings. `ran` stays false when exploration was not requested.
+struct ScheduleSummary {
+  bool ran = false;
+  uint64_t explored = 0;   ///< schedules actually simulated
+  uint64_t pruned = 0;     ///< branch candidates rejected by the race filter
+  uint64_t divergent = 0;  ///< schedules whose outcome differs from baseline
+  bool complete = false;   ///< frontier drained within the bound
+};
+
 struct Report {
   std::vector<Finding> findings;
+  ScheduleSummary schedules;
 
   [[nodiscard]] bool clean() const { return findings.empty(); }
   [[nodiscard]] size_t count(Severity s) const;
@@ -52,12 +82,33 @@ struct Report {
   [[nodiscard]] bool has(const std::string& code) const;
 
   void to_sink(DiagnosticSink& sink) const;
-  /// Machine-readable report for `specsyn check --json`.
+  /// Machine-readable report for `specsyn check --json`
+  /// (schema "specsyn-check-v1"; validated by tools/check_diag_json.py).
   [[nodiscard]] std::string json(const std::string& spec_name) const;
 };
 
 /// Runs every checker. `spec` must pass validate(); call on refiner output
 /// (original unrefined specifications simply have nothing to check).
 [[nodiscard]] Report analyze(const Specification& spec);
+
+/// Options for the dynamic schedule-exploration pass
+/// (`specsyn check --explore-schedules[=N]`).
+struct ScheduleCheckOptions {
+  /// Total schedules to simulate, baseline included.
+  size_t max_schedules = 16;
+  /// Tier / max_cycles for every exploration run. sched_policy fields are
+  /// overwritten by the explorer.
+  SimConfig config;
+  /// Optional PR 5 pool: exploration waves run as parallel batch jobs.
+  /// Output is byte-identical for any worker count.
+  batch::ThreadPool* pool = nullptr;
+};
+
+/// Bounded schedule exploration (src/analysis/schedules) appended to a
+/// static `report`: fills report.schedules, emits SA021 when two explored
+/// schedules disagree on the observable outcome, and attaches the replay
+/// witness to the SA021 and every SA020 finding already present.
+void check_schedules(const Specification& spec, Report& report,
+                     const ScheduleCheckOptions& opts);
 
 }  // namespace specsyn::analysis

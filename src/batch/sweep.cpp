@@ -8,6 +8,7 @@
 #include <tuple>
 #include <utility>
 
+#include "analysis/schedules/explore.h"
 #include "analysis/verifier.h"
 #include "estimate/cost.h"
 #include "obs/bus_trace.h"
@@ -107,6 +108,18 @@ SweepRow eval_point(const Specification& spec, const Partition& part,
       eo.programs = ctx.programs;  // the refined spec re-lowers as a hit
       row.verified = true;
       row.equivalent = check_equivalence(spec, r.refined, eo).equivalent;
+
+      if (opts.explore_schedules > 0) {
+        analysis::schedules::ExploreOptions xo;
+        xo.max_schedules = opts.explore_schedules;
+        xo.config = sc;
+        xo.compare_write_traces = eo.compare_write_traces;
+        const analysis::schedules::InclusionResult inc =
+            analysis::schedules::check_inclusion(spec, r.refined, xo);
+        row.sched_checked = true;
+        row.sched_consistent = inc.holds;
+        row.sched_explored = inc.refined_explored;
+      }
     }
     row.refine_ok = true;
   } catch (const SpecError& e) {
@@ -180,6 +193,8 @@ SweepReport run_sweep(const Specification& spec, const Partition& part,
         const auto key = [](const SweepRow& r) {
           return std::make_tuple(r.refine_ok ? 0 : 1,
                                  r.verified && !r.equivalent ? 1 : 0,
+                                 r.sched_checked && !r.sched_consistent ? 1
+                                                                        : 0,
                                  r.root_completed || !r.refine_ok ? 0 : 1,
                                  r.sa_errors, r.cycles, r.cost,
                                  r.matrix_index);
@@ -190,12 +205,17 @@ SweepReport run_sweep(const Specification& spec, const Partition& part,
 }
 
 std::string SweepReport::table() const {
+  const bool sched = std::any_of(rows.begin(), rows.end(),
+                                 [](const SweepRow& r) {
+                                   return r.sched_checked;
+                                 });
   std::string out;
-  appendf(out, "sweep: %zu configuration(s)%s\n", rows.size(),
-          verify ? ", equivalence-verified" : "");
-  appendf(out, "%4s  %-28s %5s %12s %9s %6s %10s %6s %5s %s\n", "rank",
+  appendf(out, "sweep: %zu configuration(s)%s%s\n", rows.size(),
+          verify ? ", equivalence-verified" : "",
+          sched ? ", schedule-checked" : "");
+  appendf(out, "%4s  %-28s %5s %12s %9s %6s %10s %6s %5s %-5s %s\n", "rank",
           "config", "buses", "peak Mbit/s", "cost", "SA e/w", "cycles",
-          "util%", "live", verify ? "equiv" : "");
+          "util%", "live", verify ? "equiv" : "", sched ? "sched" : "");
   for (size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
     if (!r.refine_ok) {
@@ -206,10 +226,11 @@ std::string SweepReport::table() const {
     char saw[32];
     snprintf(saw, sizeof saw, "%zu/%zu", r.sa_errors, r.sa_warnings);
     appendf(out, "%4zu  %-28s %5zu %12.1f %9.1f %6s %10" PRIu64
-                 " %6.1f %5s %s\n",
+                 " %6.1f %5s %-5s %s\n",
             i + 1, r.point.label().c_str(), r.buses, r.peak_mbps, r.cost, saw,
             r.cycles, r.peak_util_pct, r.root_completed ? "yes" : "no",
-            !verify ? "" : (r.equivalent ? "yes" : "NO"));
+            !verify ? "" : (r.equivalent ? "yes" : "NO"),
+            !r.sched_checked ? "" : (r.sched_consistent ? "ok" : "RACE"));
   }
   return out;
 }
@@ -250,6 +271,10 @@ std::string SweepReport::json() const {
             json_escape(r.busiest_bus).c_str());
     appendf(out, "\"verified\": %s, ", r.verified ? "true" : "false");
     appendf(out, "\"equivalent\": %s, ", r.equivalent ? "true" : "false");
+    appendf(out, "\"sched_checked\": %s, ", r.sched_checked ? "true" : "false");
+    appendf(out, "\"sched_consistent\": %s, ",
+            r.sched_consistent ? "true" : "false");
+    appendf(out, "\"sched_explored\": %" PRIu64 ", ", r.sched_explored);
     appendf(out, "\"error\": \"%s\"", json_escape(r.error).c_str());
     out += i + 1 < rows.size() ? "},\n" : "}\n";
   }

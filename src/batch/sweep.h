@@ -46,6 +46,10 @@ struct SweepOptions {
   /// Also simulate the *original* spec per point and compare observable
   /// behaviour (sim/equivalence). Roughly doubles the per-point work.
   bool verify = false;
+  /// With `verify`, additionally run the partition-consistency check over up
+  /// to this many explored schedules per side (analysis/schedules): every
+  /// refined outcome must be one the original permits. 0 disables.
+  size_t explore_schedules = 0;
 };
 
 /// Everything measured about one refined configuration.
@@ -73,6 +77,12 @@ struct SweepRow {
   // Only meaningful when SweepOptions::verify was set.
   bool verified = false;
   bool equivalent = false;
+
+  // Only meaningful when SweepOptions::explore_schedules was set with
+  // verify: the schedule-inclusion (partition-consistency) check.
+  bool sched_checked = false;
+  bool sched_consistent = false;
+  uint64_t sched_explored = 0;  ///< refined-side schedules simulated
 };
 
 struct SweepReport {

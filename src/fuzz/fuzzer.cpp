@@ -83,6 +83,7 @@ SeedOutcome eval_seed(const FuzzOptions& opts, size_t index,
   oopts.programs = programs;
   oopts.parallel_equivalence = parallel_equivalence;
   oopts.exec_tier = opts.exec_tier;
+  oopts.explore_schedules = opts.explore_schedules;
 
   const OracleOutcome outcome = run_oracles(spec, o.config, oopts);
   o.injection_applied =

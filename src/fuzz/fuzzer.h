@@ -40,6 +40,9 @@ struct FuzzOptions {
   std::optional<ExecTier> exec_tier;
   /// On-disk L2 program cache directory (`--cache-dir`); empty = no L2.
   std::string cache_dir;
+  /// Schedules per side for the schedule-inclusion oracle
+  /// (`--explore-schedules[=N]`; 0 disables).
+  size_t explore_schedules = 4;
   /// Worker threads for the seed sweep (1 = serial in the calling thread,
   /// 0 = one per core). Seeds are independent jobs on a batch::ThreadPool;
   /// per-seed work (including reduction) runs concurrently, while file

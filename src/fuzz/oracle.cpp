@@ -9,6 +9,7 @@
 #include "partition/partition.h"
 #include "printer/printer.h"
 #include "refine/refiner.h"
+#include "analysis/schedules/explore.h"
 #include "sim/equivalence.h"
 #include "spec/builder.h"
 #include "spec/mutate.h"
@@ -285,6 +286,33 @@ OracleOutcome run_oracles(const Specification& spec, const OracleConfig& cfg,
   before = out.issues.size();
   check_analysis(refined, "analysis-refined", out);
   tally("analysis-refined", before);
+
+  if (opts.explore_schedules > 0) {
+    // Partition consistency (PAPERS.md): over K explored schedules per side,
+    // the refined outcome set projected onto the original's variables must
+    // be included in the original's. Exploration branches only at statically
+    // racing decision points, so a clean pair costs two recorded baseline
+    // runs; a race the refiner left behind shows up as an escaping outcome
+    // with a replayable witness.
+    before = out.issues.size();
+    try {
+      analysis::schedules::ExploreOptions xo;
+      xo.max_schedules = opts.explore_schedules;
+      xo.config.max_cycles = opts.max_cycles;
+      if (opts.exec_tier) xo.config.exec_tier = *opts.exec_tier;
+      xo.compare_write_traces =
+          cfg.protocol == ProtocolStyle::FullHandshake;
+      const analysis::schedules::InclusionResult inc =
+          analysis::schedules::check_inclusion(spec, refined, xo);
+      if (!inc.holds) {
+        add_issue(out, "schedule-inclusion", inc.violation);
+      }
+    } catch (const SpecError& e) {
+      add_issue(out, "schedule-inclusion",
+                std::string("exploration threw: ") + e.what());
+    }
+    tally("schedule-inclusion", before);
+  }
   return out;
 }
 

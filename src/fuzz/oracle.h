@@ -16,6 +16,11 @@
 //                      traces, main control flow completed)
 //   analysis-refined   zero SA-coded findings on a freshly refined spec —
 //                      any finding is a bug in the refiner or the verifier
+//   schedule-inclusion partition consistency over explored schedules
+//                      (analysis/schedules): every outcome the refined spec
+//                      exhibits across K explored interleavings, projected
+//                      onto the original's variables, must be an outcome the
+//                      original exhibits too
 //
 // A planted-bug mode (InjectedBug) mutates the refined spec the way a broken
 // refinement procedure would, to prove the oracles and the reducer are live.
@@ -101,6 +106,10 @@ struct OracleOptions {
   /// Execution tier for the equivalence oracle's simulations (interp-diff
   /// always runs every tier regardless). Unset = the process default tier.
   std::optional<ExecTier> exec_tier;
+  /// Schedules per side for the schedule-inclusion oracle (0 disables it).
+  /// Clean specs collapse to the baseline schedule (no racing pairs means
+  /// nothing to branch on), so the steady-state cost is two recorded runs.
+  size_t explore_schedules = 4;
 };
 
 /// Runs every oracle on `spec` (which must be valid — the first check) under

@@ -1,0 +1,29 @@
+// Replayable schedule witnesses.
+//
+// A witness pins down one interleaving of a specification so a diagnostic
+// produced by schedule exploration (src/analysis/schedules) can be handed to
+// `specsyn simulate --replay-witness` and reproduced byte-for-byte on any
+// execution tier. Two spellings are accepted:
+//
+//   picks:1,0,2   explicit pick trace — entry i is the ready-set index taken
+//                 at decision point i (SchedPolicy::Replay). "picks:" with no
+//                 entries is the canonical schedule.
+//   seed:42       seeded random schedule (SchedPolicy::Random).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace specsyn {
+
+/// Renders a pick trace in the "picks:..." witness form.
+std::string format_witness(const std::vector<uint32_t>& picks);
+
+/// Parses a witness string and applies the schedule it names to `cfg`
+/// (policy + seed or pick trace). Returns false on malformed input, leaving
+/// `cfg` untouched.
+bool apply_witness(const std::string& witness, SimConfig* cfg);
+
+}  // namespace specsyn

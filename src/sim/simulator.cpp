@@ -39,9 +39,35 @@ const char* exec_tier_name(ExecTier tier) {
   return "?";
 }
 
+bool parse_sched_policy(const std::string& name, SchedPolicy* out) {
+  if (name == "fifo") {
+    *out = SchedPolicy::Fifo;
+  } else if (name == "random") {
+    *out = SchedPolicy::Random;
+  } else if (name == "replay") {
+    *out = SchedPolicy::Replay;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* sched_policy_name(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::Fifo:
+      return "fifo";
+    case SchedPolicy::Random:
+      return "random";
+    case SchedPolicy::Replay:
+      return "replay";
+  }
+  return "?";
+}
+
 ExecTier default_exec_tier() {
   static const ExecTier tier = [] {
     ExecTier t = ExecTier::Lowered;
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once under static init.
     if (const char* env = std::getenv("SPECSYN_EXEC_TIER")) {
       if (*env != '\0' && !parse_exec_tier(env, &t)) {
         throw SpecError(std::string("SPECSYN_EXEC_TIER: unknown tier '") +
@@ -105,6 +131,17 @@ Simulator::Simulator(const Specification& spec, SimConfig cfg,
       b.sigs.reserve(64);
     }
   }
+  sched_active_ =
+      cfg_.sched_policy != SchedPolicy::Fifo || cfg_.record_schedule;
+  if (sched_active_) {
+    // Permuted or recorded scheduling must see every decision point, so the
+    // bytecode tier falls back to the generic (time, seq) heap loop: the
+    // fast buckets don't carry seq numbers and statement chaining skips the
+    // scheduler entirely. All three tiers then share identical ready sets.
+    fast_sched_ = false;
+    chain_ok_ = false;
+    sched_rng_ = cfg_.sched_seed;
+  }
   run_q_ = make_queue<RunEvent>(1024);
   sig_q_ = make_queue<SignalEvent>(1024);
   processes_.reserve(64);
@@ -124,6 +161,10 @@ void Simulator::reset() {
   fb_next_ = &fast_buckets_[1];
   fb_run_next_ = 0;
   for (auto& w : waiters_) w.clear();
+  sched_rng_ = cfg_.sched_seed;
+  sched_pick_cursor_ = 0;
+  ready_.clear();
+  sched_trace_.clear();
   raw_writes_.clear();
   behavior_completions_.clear();
   std::fill(completions_.begin(), completions_.end(), 0);
@@ -259,6 +300,49 @@ void Simulator::finish_process(Process& p, uint64_t time) {
   }
 }
 
+uint32_t Simulator::sched_pick(size_t k) {
+  uint32_t pick = 0;
+  switch (cfg_.sched_policy) {
+    case SchedPolicy::Fifo:
+      break;
+    case SchedPolicy::Random: {
+      // splitmix64: tiny, seed-deterministic, plenty for tie-breaking.
+      sched_rng_ += 0x9e3779b97f4a7c15ull;
+      uint64_t z = sched_rng_;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      z ^= z >> 31;
+      pick = static_cast<uint32_t>(z % k);
+      break;
+    }
+    case SchedPolicy::Replay:
+      // One trace entry per decision point; an exhausted trace means "the
+      // rest of the run is canonical" (pick 0), which is what lets a prefix
+      // double as a complete witness.
+      if (sched_pick_cursor_ < cfg_.sched_picks.size()) {
+        pick = cfg_.sched_picks[sched_pick_cursor_];
+        if (pick >= k) {
+          throw SpecError("schedule replay: pick " + std::to_string(pick) +
+                          " at decision " +
+                          std::to_string(sched_pick_cursor_) +
+                          " is out of range (ready set holds " +
+                          std::to_string(k) + ")");
+        }
+      }
+      ++sched_pick_cursor_;
+      break;
+  }
+  if (cfg_.record_schedule) {
+    SchedDecision d;
+    d.time = now_;
+    d.pick = pick;
+    d.ready.reserve(k);
+    for (const Process* rp : ready_) d.ready.push_back(current_behavior(*rp));
+    sched_trace_.push_back(std::move(d));
+  }
+  return pick;
+}
+
 SimResult Simulator::run() {
   if (ran_) throw SpecError("Simulator::run may only be called once");
   ran_ = true;
@@ -321,15 +405,44 @@ SimResult Simulator::run() {
 
       // Then run every process step scheduled at exactly t (steps may
       // enqueue further work at t, which this loop also drains).
-      while (!run_q_.empty() && run_q_.top().time == now_) {
-        Process* p = run_q_.top().proc;
-        run_q_.pop();
-        if (p->status != Process::Status::Ready) {
-          throw SpecError("internal: non-ready process in run queue");
+      if (!sched_active_) {
+        while (!run_q_.empty() && run_q_.top().time == now_) {
+          Process* p = run_q_.top().proc;
+          run_q_.pop();
+          if (p->status != Process::Status::Ready) {
+            throw SpecError("internal: non-ready process in run queue");
+          }
+          (this->*step_fn)(*p);
+          ++steps_;
+          if (steps_ > cfg_.max_cycles) break;
         }
-        (this->*step_fn)(*p);
-        ++steps_;
-        if (steps_ > cfg_.max_cycles) break;
+      } else {
+        // Policy path: materialize the instant's ready set so the pick can
+        // permute it. The heap pops in seq order and work enqueued while
+        // stepping carries higher seq numbers and is appended behind the
+        // survivors, so always picking index 0 reproduces the Fifo order
+        // exactly — the policy only ever reorders genuine ties.
+        while (!run_q_.empty() && run_q_.top().time == now_) {
+          ready_.push_back(run_q_.top().proc);
+          run_q_.pop();
+        }
+        while (!ready_.empty()) {
+          const uint32_t pick =
+              ready_.size() > 1 ? sched_pick(ready_.size()) : 0;
+          Process* p = ready_[pick];
+          ready_.erase(ready_.begin() + pick);
+          if (p->status != Process::Status::Ready) {
+            throw SpecError("internal: non-ready process in run queue");
+          }
+          (this->*step_fn)(*p);
+          ++steps_;
+          if (steps_ > cfg_.max_cycles) break;
+          while (!run_q_.empty() && run_q_.top().time == now_) {
+            ready_.push_back(run_q_.top().proc);
+            run_q_.pop();
+          }
+        }
+        ready_.clear();  // non-empty only after a max-cycles bail
       }
       if (steps_ > cfg_.max_cycles) {
         result.status = SimResult::Status::MaxCycles;
@@ -342,6 +455,7 @@ SimResult Simulator::run() {
 
   result.end_time = now_;
   result.steps = steps_;
+  if (cfg_.record_schedule) result.sched_decisions = std::move(sched_trace_);
   result.root_completed =
       root_ != nullptr && root_->status == Process::Status::Done;
   for (const auto& p : processes_) {

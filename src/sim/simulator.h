@@ -58,6 +58,29 @@ const char* exec_tier_name(ExecTier tier);
 /// touching tests that pin a tier on purpose.
 ExecTier default_exec_tier();
 
+/// How the kernel breaks ties when several processes are ready at the same
+/// instant. Non-Fifo policies are the seam schedule exploration
+/// (src/analysis/schedules) is built on: they permute pick order at exactly
+/// the points where concurrent statements or arbiter grants contend, and are
+/// honored identically by all three execution tiers.
+enum class SchedPolicy : uint8_t {
+  /// Canonical (time, seq) order — the default, bit-identical to the
+  /// behavior before schedule policies existed.
+  Fifo,
+  /// Seeded pseudo-random pick among the ready set (SimConfig::sched_seed).
+  Random,
+  /// Consume SimConfig::sched_picks one entry per decision point; beyond the
+  /// end of the trace, fall back to Fifo (pick 0).
+  Replay,
+};
+
+/// Parses a policy name ("fifo", "random", "replay"); returns false on
+/// anything else.
+bool parse_sched_policy(const std::string& name, SchedPolicy* out);
+
+/// Spelling of a policy, inverse of parse_sched_policy.
+const char* sched_policy_name(SchedPolicy p);
+
 struct SimConfig {
   /// Cycles consumed by one executed statement.
   uint64_t stmt_cost = 1;
@@ -72,6 +95,21 @@ struct SimConfig {
   /// `specsyn --exec-tier tree`). Defaults to Lowered unless the
   /// SPECSYN_EXEC_TIER environment variable overrides it.
   ExecTier exec_tier = default_exec_tier();
+  /// Ready-set tie-break policy. Any value other than Fifo (and any run with
+  /// record_schedule set) routes the bytecode tier through the generic
+  /// (time, seq) heap scheduler so decision points land identically on all
+  /// three tiers; the default Fifo policy costs nothing on the hot path.
+  SchedPolicy sched_policy = SchedPolicy::Fifo;
+  /// Seed for SchedPolicy::Random. Equal seeds reproduce the schedule (and
+  /// therefore the whole run) bit-for-bit on every tier.
+  uint64_t sched_seed = 0;
+  /// Pick trace for SchedPolicy::Replay: entry i is the index into the
+  /// canonical-order ready set taken at decision point i (instants with a
+  /// single ready process consume nothing). A pick out of range throws.
+  std::vector<uint32_t> sched_picks;
+  /// Record every decision point into SimResult::sched_decisions — the raw
+  /// material schedule exploration branches on.
+  bool record_schedule = false;
 };
 
 /// Observation callbacks. All strings are the spec-unique object names.
@@ -183,6 +221,18 @@ struct BlockedProcess {
   std::string waiting_on;
 };
 
+/// One recorded scheduling decision: an instant whose ready set held two or
+/// more processes. `ready` lists the innermost active behavior of every
+/// candidate in canonical (seq) order; `pick` is the index stepped first —
+/// feeding picks back through SimConfig::sched_picks replays the schedule.
+struct SchedDecision {
+  uint64_t time = 0;
+  uint32_t pick = 0;
+  std::vector<std::string> ready;
+
+  friend bool operator==(const SchedDecision&, const SchedDecision&) = default;
+};
+
 struct SimResult {
   enum class Status {
     Quiescent,  // event queue drained; no runnable process remains
@@ -202,6 +252,9 @@ struct SimResult {
   std::vector<WriteEvent> observable_writes;
   /// Completion count per behavior name.
   std::map<std::string, uint64_t> behavior_completions;
+  /// Decision points recorded when SimConfig::record_schedule was set (empty
+  /// otherwise). Decision i replays via SimConfig::sched_picks[i].
+  std::vector<SchedDecision> sched_decisions;
 };
 
 class Program;
@@ -415,6 +468,18 @@ class Simulator {
   /// statement re-arms into fb_next_, which is what lets the VM chain
   /// statements (and inline the re-arm push) without consulting the config.
   bool chain_ok_ = false;
+
+  // Schedule-policy state. sched_active_ is set iff the run permutes or
+  // records pick order (non-Fifo policy or record_schedule); it forces the
+  // generic heap scheduler so every tier sees the same decision points.
+  bool sched_active_ = false;
+  uint64_t sched_rng_ = 0;        // splitmix64 state (Random policy)
+  size_t sched_pick_cursor_ = 0;  // next entry of cfg_.sched_picks (Replay)
+  std::vector<Process*> ready_;   // the instant's ready set, canonical order
+  std::vector<SchedDecision> sched_trace_;
+  /// Applies the policy to a ready set of size k (>= 2): returns the index
+  /// to step next and, when recording, appends the decision to sched_trace_.
+  uint32_t sched_pick(size_t k);
 
   uint64_t seq_counter_ = 0;
   uint64_t now_ = 0;

@@ -2,6 +2,9 @@
 //
 //   specsyn check    <file.spec> [--json]            parse + validate + stats
 //                                                    + static verifier (SA0xx)
+//                    [--explore-schedules[=N]]       + bounded schedule
+//                    [--jobs N]                      exploration (SA021 with
+//                                                    replayable witnesses)
 //   specsyn print    <file.spec>                     canonical pretty-print
 //   specsyn simulate <file.spec> [options]           run and report results
 //   specsyn graph    <file.spec> [partition opts]    Graphviz DOT export
@@ -26,6 +29,11 @@
 //                          --exec-tier tree)
 //   --cache-dir DIR        persistent on-disk bytecode cache shared across
 //                          processes (bytecode tier only)
+//   --sched-policy P       ready-set tie-break policy: fifo | random | replay
+//   --sched-seed N         seed for --sched-policy random
+//   --replay-witness W     replay a schedule witness ("picks:1,0,2" or
+//                          "seed:42") attached to an SA020/SA021 diagnostic;
+//                          reproduces the diverging run byte-for-byte
 //
 // refine options:
 //   --model N              implementation model 1..4 (default 1)
@@ -47,6 +55,7 @@
 //   --jobs N               worker threads (default 1; 0 = one per core);
 //                          output is byte-identical for any value
 //   --verify               also check functional equivalence per point
+//   --explore-schedules[=N] partition-consistency check per point
 //   --json                 emit the ranked rows as JSON instead of the table
 //   --max-cycles N ; --clock-hz HZ ; --exec-tier T ; --cache-dir DIR ;
 //   -o FILE
@@ -63,6 +72,7 @@
 //   --json FILE            write the machine-readable report to FILE
 //   --inject-bug done|data plant a known refiner bug (oracle self-test)
 //   --max-cycles N         per-simulation bound (default 5000000)
+//   --explore-schedules[=N] schedule-inclusion oracle depth (default 4)
 //   --exec-tier T ; --cache-dir DIR   as for simulate (equivalence oracle)
 //
 // global options (every subcommand):
@@ -100,6 +110,7 @@
 #include "sim/disk_cache.h"
 #include "sim/equivalence.h"
 #include "sim/program_cache.h"
+#include "sim/sched.h"
 #include "sim/vcd.h"
 #include "telemetry/telemetry.h"
 
@@ -125,6 +136,16 @@ commands:
                          race, address-map, arbiter and control-order checks;
                          exit 1 on any SA0xx error)
                          --json    emit the verifier report as JSON instead
+                                   (schema specsyn-check-v1; see
+                                   tools/check_diag_json.py)
+                         --explore-schedules[=N]  additionally simulate up to
+                                   N schedules (default 16), branching only at
+                                   SA020-racing ready sets; a divergent
+                                   observable outcome becomes an SA021 error
+                                   with a replayable witness
+                         --jobs N  worker threads for the exploration waves
+                                   (default 1; 0 = one per core); output is
+                                   byte-identical for any value
   print    <file.spec>   canonical pretty-print
   simulate <file.spec>   run the discrete-event simulator, report results
   graph    <file.spec>   Graphviz DOT of the access graph
@@ -159,6 +180,15 @@ simulate options:
                          reloaded (instead of recompiled) by later runs.
                          Bytecode tier only; prints hit/miss counters on
                          stderr after the run.
+  --sched-policy P       ready-set tie-break policy when several processes
+                         are runnable at the same instant: fifo (default,
+                         event order), random (seeded shuffle), replay
+                         (consume --replay-witness picks)
+  --sched-seed N         seed for --sched-policy random (default 0)
+  --replay-witness W     replay a schedule witness from an SA020/SA021
+                         diagnostic ("picks:1,0,2" or "seed:42"); the run
+                         reproduces the diverging schedule byte-for-byte on
+                         any --exec-tier
 
 refine options:
   --model N ; --protocol hs|bs ; --scheme loop|wrapper ; --no-inline
@@ -169,6 +199,11 @@ sweep options:
   --jobs N               worker threads (default 1; 0 = one per core); the
                          ranked output is byte-identical for any value
   --verify               also check per-point functional equivalence
+  --explore-schedules[=N]  with --verify (implied): per point, check that
+                         every refined outcome over up to N explored
+                         schedules (default 16) is one the original spec
+                         permits (partition consistency); inconsistent
+                         points rank last and show RACE in the sched column
   --json                 emit the ranked rows as JSON instead of the table
   partition options as for refine ; --max-cycles N ; --clock-hz HZ ;
   --exec-tier T ; --cache-dir DIR ; -o FILE
@@ -186,6 +221,8 @@ fuzz options:
   --json FILE            write the machine-readable report to FILE
   --inject-bug done|data plant a known refiner bug (oracle self-test)
   --max-cycles N         per-simulation bound (default 5000000)
+  --explore-schedules[=N]  schedules per side for the schedule-inclusion
+                         oracle (default 4; =0 disables)
   --exec-tier T ; --cache-dir DIR   as for simulate (used by the
                          equivalence oracle's simulations)
 
@@ -338,11 +375,34 @@ struct Args {
   std::string trace_file;
   std::string metrics_json_file;
   size_t asics = 0;  // 0 => PROC+ASIC
-  size_t jobs = 1;   // sweep workers; 0 => one per core
+  size_t jobs = 1;   // sweep/check workers; 0 => one per core
+  size_t explore_schedules = 0;  // --explore-schedules[=N]; 0 => off
+  SchedPolicy sched_policy = SchedPolicy::Fifo;
+  uint64_t sched_seed = 0;
+  std::string replay_witness;
   std::vector<std::pair<std::string, size_t>> assigns;
   std::vector<std::pair<std::string, size_t>> var_pins;
   std::string ratio;  // "", balanced, local, global
 };
+
+/// `--explore-schedules[=N]` (shared by check, sweep and fuzz). Returns 1
+/// when consumed, 0 when `f` is some other flag, -1 on a malformed count
+/// (error already printed). The bare form means N=16; `=0` disables.
+int parse_explore_flag(const std::string& f, size_t& out) {
+  static const std::string kFlag = "--explore-schedules";
+  if (f == kFlag) {
+    out = 16;
+    return 1;
+  }
+  if (f.rfind(kFlag + "=", 0) != 0) return 0;
+  const std::string v = f.substr(kFlag.size() + 1);
+  if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr, "--explore-schedules expects a schedule count\n");
+    return -1;
+  }
+  out = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+  return 1;
+}
 
 bool parse_kv(const char* arg, std::pair<std::string, size_t>& out) {
   const char* eq = std::strchr(arg, '=');
@@ -369,6 +429,10 @@ int parse_args(int argc, char** argv, Args& a) {
     };
     if (const int g = parse_global_flag(f, next, a.global); g != 0) {
       if (g < 0) return 2;
+      continue;
+    }
+    if (const int x = parse_explore_flag(f, a.explore_schedules); x != 0) {
+      if (x < 0) return 2;
       continue;
     }
     if (f == "--model") {
@@ -465,6 +529,21 @@ int parse_args(int argc, char** argv, Args& a) {
       const char* v = next();
       if (!v) return 2;
       a.ratio = v;
+    } else if (f == "--sched-policy") {
+      const char* v = next();
+      if (!v) return 2;
+      if (!parse_sched_policy(v, &a.sched_policy)) {
+        std::fprintf(stderr, "--sched-policy must be fifo, random or replay\n");
+        return 2;
+      }
+    } else if (f == "--sched-seed") {
+      const char* v = next();
+      if (!v) return 2;
+      a.sched_seed = std::strtoull(v, nullptr, 10);
+    } else if (f == "--replay-witness") {
+      const char* v = next();
+      if (!v) return 2;
+      a.replay_witness = v;
     } else if (f == "-o") {
       const char* v = next();
       if (!v) return 2;
@@ -520,7 +599,20 @@ Partition build_partition(const Args& a, const Specification& spec,
 }
 
 int cmd_check(const Args& a, const Specification& spec) {
-  const analysis::Report rep = analysis::analyze(spec);
+  analysis::Report rep = analysis::analyze(spec);
+  if (a.explore_schedules > 0) {
+    analysis::ScheduleCheckOptions sopts;
+    sopts.max_schedules = a.explore_schedules;
+    sopts.config.exec_tier = a.exec_tier;
+    if (a.max_cycles != 0) sopts.config.max_cycles = a.max_cycles;
+    const size_t workers =
+        a.jobs == 0 ? batch::ThreadPool::default_workers() : a.jobs;
+    // Always through a pool (even --jobs 1): exploration waves then take the
+    // same code path and emit the same stable telemetry for any job count.
+    batch::ThreadPool pool(workers);
+    sopts.pool = &pool;
+    analysis::check_schedules(spec, rep, sopts);
+  }
   if (a.json) {
     const int rc = write_output(a, rep.json(spec.name));
     return rc != 0 ? rc : (rep.has_errors() ? 1 : 0);
@@ -540,6 +632,14 @@ int cmd_check(const Args& a, const Specification& spec) {
   for (const analysis::Finding& f : rep.findings) {
     std::printf("%s\n", f.str().c_str());
   }
+  if (rep.schedules.ran) {
+    std::printf("schedule exploration: %llu explored, %llu pruned, "
+                "%llu divergent%s\n",
+                static_cast<unsigned long long>(rep.schedules.explored),
+                static_cast<unsigned long long>(rep.schedules.pruned),
+                static_cast<unsigned long long>(rep.schedules.divergent),
+                rep.schedules.complete ? "" : " (bound reached)");
+  }
   std::printf("static verifier: %zu error(s), %zu warning(s)\n",
               rep.count(Severity::Error), rep.count(Severity::Warning));
   return rep.has_errors() ? 1 : 0;
@@ -550,6 +650,16 @@ int cmd_simulate(const Args& a, const Specification& spec) {
   cfg.exec_tier = a.exec_tier;
   if (a.max_cycles != 0) cfg.max_cycles = a.max_cycles;
   if (a.clock_hz > 0.0) cfg.clock_hz = a.clock_hz;
+  cfg.sched_policy = a.sched_policy;
+  cfg.sched_seed = a.sched_seed;
+  if (!a.replay_witness.empty() &&
+      !apply_witness(a.replay_witness, &cfg)) {
+    std::fprintf(stderr,
+                 "malformed --replay-witness '%s' (expected picks:N,N,... "
+                 "or seed:N)\n",
+                 a.replay_witness.c_str());
+    return 2;
+  }
   std::unique_ptr<DiskProgramCache> disk;
   std::unique_ptr<ProgramCache> programs;
   if (!a.cache_dir.empty()) {
@@ -700,6 +810,12 @@ int cmd_sweep(const Args& a, const Specification& spec) {
   batch::SweepOptions so;
   so.exec_tier = a.exec_tier;
   so.verify = a.verify;
+  so.explore_schedules = a.explore_schedules;
+  if (so.explore_schedules > 0 && !so.verify) {
+    std::fprintf(stderr,
+                 "note: --explore-schedules implies --verify for sweep\n");
+    so.verify = true;
+  }
   if (a.max_cycles != 0) so.max_cycles = a.max_cycles;
   if (a.clock_hz > 0.0) so.clock_hz = a.clock_hz;
 
@@ -743,6 +859,10 @@ int cmd_fuzz(int argc, char** argv) {
     };
     if (const int g = parse_global_flag(f, next, global); g != 0) {
       if (g < 0) return 2;
+      continue;
+    }
+    if (const int x = parse_explore_flag(f, opts.explore_schedules); x != 0) {
+      if (x < 0) return 2;
       continue;
     }
     if (f == "--seeds") {
